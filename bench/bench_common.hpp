@@ -1,0 +1,154 @@
+// Shared scaffolding for the figure-reproduction benches: common CLI
+// options (network scale, measurement windows, CSV output, thread count),
+// per-mechanism configuration, and table helpers.
+//
+// Every bench accepts:
+//   --h N           network radix (paper: 6; default 4 — see EXPERIMENTS.md)
+//   --seed S        RNG seed
+//   --warmup C      warm-up cycles before the measurement window
+//   --measure C     measurement window width
+//   --csv-dir D     directory for CSV dumps ("" disables)
+//   --threads T     sweep worker threads (0 = hardware concurrency)
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/config.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "traffic/pattern.hpp"
+
+namespace ofar::bench {
+
+struct BenchOptions;
+inline void dump_csv(const Table& table, const BenchOptions& opts,
+                     const std::string& name);
+
+struct BenchOptions {
+  u32 h = 4;
+  u64 seed = 1;
+  RunParams run;
+  std::string csv_dir;
+  unsigned threads = 0;
+
+  static BenchOptions parse(const CommandLine& cli, Cycle warmup_default,
+                            Cycle measure_default) {
+    BenchOptions o;
+    o.h = static_cast<u32>(cli.get_uint("h", 4));
+    o.seed = cli.get_uint("seed", 1);
+    o.run.warmup = cli.get_uint("warmup", warmup_default);
+    o.run.measure = cli.get_uint("measure", measure_default);
+    o.csv_dir = cli.get_string("csv-dir", ".");
+    o.threads = static_cast<unsigned>(cli.get_uint("threads", 0));
+    return o;
+  }
+
+  /// Baseline SimConfig for a mechanism: VC-ordered mechanisms get no ring,
+  /// OFAR variants get the physical ring (the paper's default evaluation
+  /// setup; Fig. 8 overrides the ring kind explicitly).
+  SimConfig config(RoutingKind routing) const {
+    SimConfig cfg;
+    cfg.h = h;
+    cfg.seed = seed;
+    cfg.routing = routing;
+    cfg.ring = cfg.vc_ordered() ? RingKind::kNone : RingKind::kPhysical;
+    return cfg;
+  }
+};
+
+/// Evenly spaced loads (lo, lo+step, ..., hi], overridable via
+/// --min-load/--max-load/--points.
+inline std::vector<double> load_grid(const CommandLine& cli, double lo,
+                                     double hi, u32 points) {
+  lo = cli.get_double("min-load", lo);
+  hi = cli.get_double("max-load", hi);
+  points = static_cast<u32>(cli.get_uint("points", points));
+  std::vector<double> loads;
+  for (u32 i = 0; i < points; ++i)
+    loads.push_back(lo + (hi - lo) * i / (points > 1 ? points - 1 : 1));
+  return loads;
+}
+
+/// Rejects unknown CLI keys with a readable message. Returns false on typo.
+inline bool reject_unknown(const CommandLine& cli) {
+  bool ok = true;
+  for (const auto& key : cli.unused_keys()) {
+    std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+/// One curve of a steady-state figure: a labelled mechanism configuration.
+struct MechanismSpec {
+  std::string label;
+  SimConfig cfg;
+};
+
+/// Shared driver for the steady-state figures (Figs. 3, 4, 5, 8, 9): sweeps
+/// `loads` for every mechanism, prints the latency (a) and throughput (b)
+/// tables, and dumps both as CSV. Saturated points report latency as-is —
+/// the paper's plots clip them visually instead.
+inline void steady_figure(const std::string& figure, const std::string& title,
+                          const BenchOptions& opts,
+                          const TrafficPattern& pattern,
+                          const std::vector<double>& loads,
+                          const std::vector<MechanismSpec>& specs) {
+  std::vector<std::string> columns = {"offered_load"};
+  for (const auto& spec : specs) columns.push_back(spec.label);
+
+  Table latency(columns);
+  Table throughput(columns);
+  Table extras({"mechanism", "offered_load", "accepted", "mean_hops",
+                "local_mis", "global_mis", "ring_entries", "stalled"});
+
+  // All (mechanism, load) points are independent simulations.
+  std::vector<std::vector<SweepPoint>> results(specs.size());
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t m = 0; m < specs.size(); ++m) {
+    jobs.emplace_back([&, m] {
+      results[m] = run_load_sweep(specs[m].cfg, pattern, loads, opts.run,
+                                  /*threads=*/1);
+    });
+  }
+  run_parallel(jobs, opts.threads);
+
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    std::vector<Table::Cell> lat_row = {loads[i]};
+    std::vector<Table::Cell> thr_row = {loads[i]};
+    for (std::size_t m = 0; m < specs.size(); ++m) {
+      const SteadyResult& r = results[m][i].result;
+      lat_row.emplace_back(r.avg_latency);
+      thr_row.emplace_back(r.accepted_load);
+      extras.add_row({specs[m].label, loads[i], r.accepted_load, r.mean_hops,
+                      u64{r.local_misroutes}, u64{r.global_misroutes},
+                      u64{r.ring_entries}, u64{r.stalled_packets}});
+    }
+    latency.add_row(std::move(lat_row));
+    throughput.add_row(std::move(thr_row));
+  }
+
+  latency.print(title + " — (a) average latency [cycles]");
+  throughput.print(title + " — (b) accepted load [phits/(node*cycle)]");
+  dump_csv(latency, opts, figure + "_latency");
+  dump_csv(throughput, opts, figure + "_throughput");
+  dump_csv(extras, opts, figure + "_detail");
+}
+
+/// Writes `table` as <csv_dir>/<name>.csv unless csv_dir is empty.
+inline void dump_csv(const Table& table, const BenchOptions& opts,
+                     const std::string& name) {
+  if (opts.csv_dir.empty()) return;
+  const std::string path = opts.csv_dir + "/" + name + ".csv";
+  if (!table.write_csv(path))
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  else
+    std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace ofar::bench

@@ -1,0 +1,33 @@
+// Fig. 5 reproduction: latency (a) and throughput (b) versus offered load
+// under the worst-case adversarial pattern ADV+h, for VAL, PB, OFAR and
+// OFAR-L. This is the paper's headline result: the consecutive global
+// wiring funnels all misrouted transit traffic of a group pair through one
+// local link, capping every mechanism WITHOUT local misrouting at
+// 1/h phits/(node*cycle) (paper §III); only OFAR's in-transit local
+// misroute escapes the ceiling (paper: OFAR 0.36 vs 1/6 = 0.166 at h=6).
+//
+// The analytic ceilings are printed alongside so the gap is visible.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ofar;
+  using namespace ofar::bench;
+  CommandLine cli(argc, argv);
+  const BenchOptions opts = BenchOptions::parse(cli, 5'000, 6'000);
+  const std::vector<double> loads = load_grid(cli, 0.05, 0.45, 8);
+  if (!reject_unknown(cli)) return 1;
+
+  std::vector<MechanismSpec> specs = {
+      {"VAL", opts.config(RoutingKind::kVal)},
+      {"PB", opts.config(RoutingKind::kPb)},
+      {"OFAR", opts.config(RoutingKind::kOfar)},
+      {"OFAR-L", opts.config(RoutingKind::kOfarL)},
+  };
+  std::printf("Fig. 5 (ADV+h) on %s\n", specs[0].cfg.summary().c_str());
+  std::printf("analytic ceilings: local-link 1/h = %.4f | Valiant global "
+              "0.5\n",
+              1.0 / opts.h);
+  steady_figure("fig5", "Fig. 5: worst-case adversarial traffic (ADV+h)",
+                opts, TrafficPattern::adversarial(opts.h), loads, specs);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 6 reproduction: latency evolution under transient traffic. The
+// network is warmed with pattern A; at cycle 0 (relative) the pattern
+// switches to B, and each delivered packet's latency is accounted to the
+// cycle it was *sent* (paper §VI-B). Three transitions, as in the paper:
+//
+//   (1) UN -> ADV+2      @ 0.14 phits/(node*cycle)
+//   (2) ADV+2 -> UN      @ 0.14
+//   (3) ADV+2 -> ADV+h   @ 0.12 (lower: ADV+h at 0.14 saturates PB)
+//
+// Expected shape: all mechanisms converge instantly on (2); OFAR adapts
+// almost instantaneously on (1) and (3) while PB shows an adaptation
+// period (its congestion information is remote and delayed).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ofar;
+  using namespace ofar::bench;
+  CommandLine cli(argc, argv);
+  const BenchOptions opts = BenchOptions::parse(cli, 0, 0);
+  TransientParams params;
+  params.warmup = cli.get_uint("switch-at", 20'000);
+  params.horizon = cli.get_uint("horizon", 12'000);
+  params.lead = cli.get_uint("lead", 2'000);
+  params.drain = cli.get_uint("drain", 20'000);
+  params.bucket = static_cast<u32>(cli.get_uint("bucket", 500));
+  const double load_main = cli.get_double("load", 0.14);
+  const double load_advh = cli.get_double("load-advh", 0.12);
+  if (!reject_unknown(cli)) return 1;
+
+  struct Transition {
+    const char* name;
+    TrafficPattern a, b;
+    double load;
+  };
+  const std::vector<Transition> transitions = {
+      {"UN->ADV+2", TrafficPattern::uniform(), TrafficPattern::adversarial(2),
+       load_main},
+      {"ADV+2->UN", TrafficPattern::adversarial(2), TrafficPattern::uniform(),
+       load_main},
+      {"ADV+2->ADV+h", TrafficPattern::adversarial(2),
+       TrafficPattern::adversarial(opts.h), load_advh},
+  };
+  const std::vector<std::pair<const char*, RoutingKind>> mechanisms = {
+      {"PB", RoutingKind::kPb},
+      {"OFAR", RoutingKind::kOfar},
+      {"OFAR-L", RoutingKind::kOfarL},
+  };
+
+  std::printf("Fig. 6 (transient) on %s\n",
+              opts.config(RoutingKind::kOfar).summary().c_str());
+
+  for (const auto& tr : transitions) {
+    std::vector<std::string> columns = {"cycle_rel"};
+    for (const auto& [label, kind] : mechanisms) columns.push_back(label);
+    Table table(columns);
+
+    std::vector<TransientResult> results(mechanisms.size());
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+      jobs.emplace_back([&, m] {
+        results[m] = run_transient(opts.config(mechanisms[m].second), tr.a,
+                                   tr.load, tr.b, tr.load, params);
+      });
+    }
+    run_parallel(jobs, opts.threads);
+
+    for (std::size_t i = 0; i < results[0].series.size(); ++i) {
+      std::vector<Table::Cell> row = {i64{results[0].series[i].cycle_rel}};
+      for (std::size_t m = 0; m < mechanisms.size(); ++m)
+        row.emplace_back(results[m].series[i].mean_latency);
+      table.add_row(std::move(row));
+    }
+    table.print(std::string("Fig. 6: mean latency by send-cycle, ") +
+                tr.name + " @ load " + Table::format(tr.load));
+    std::string tag = tr.name;
+    for (auto& c : tag)
+      if (c == '>' || c == '+' || c == '-') c = '_';
+    dump_csv(table, opts, "fig6_" + tag);
+  }
+  return 0;
+}

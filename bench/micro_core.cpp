@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark) for the simulator's building blocks:
+// topology algebra, Hamiltonian-ring construction, network construction,
+// and the end-to-end cost of one simulated cycle at several loads. These
+// guard the simulator's own performance (a single h=6 figure run simulates
+// hundreds of millions of router-cycles).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sim/network.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/hamiltonian.hpp"
+#include "traffic/generator.hpp"
+
+namespace {
+
+using namespace ofar;
+
+void BM_TopologyMinNextPort(benchmark::State& state) {
+  Dragonfly topo(static_cast<u32>(state.range(0)));
+  u64 x = 12345;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const RouterId a = static_cast<RouterId>((x >> 16) % topo.routers());
+    const RouterId b = static_cast<RouterId>((x >> 40) % topo.routers());
+    if (a != b) benchmark::DoNotOptimize(topo.min_next_port(a, b));
+  }
+}
+BENCHMARK(BM_TopologyMinNextPort)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_TopologyGlobalPeer(benchmark::State& state) {
+  Dragonfly topo(static_cast<u32>(state.range(0)));
+  u64 x = 99;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const RouterId r = static_cast<RouterId>((x >> 16) % topo.routers());
+    const PortId p = static_cast<PortId>(topo.first_global_port() +
+                                         (x >> 48) % topo.h());
+    benchmark::DoNotOptimize(topo.global_peer(r, p));
+  }
+}
+BENCHMARK(BM_TopologyGlobalPeer)->Arg(6);
+
+void BM_HamiltonianConstruction(benchmark::State& state) {
+  Dragonfly topo(static_cast<u32>(state.range(0)));
+  for (auto _ : state) {
+    HamiltonianRing ring(topo);
+    benchmark::DoNotOptimize(ring.order().data());
+  }
+}
+BENCHMARK(BM_HamiltonianConstruction)->Arg(4)->Arg(6);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.h = static_cast<u32>(state.range(0));
+  cfg.routing = RoutingKind::kOfar;
+  for (auto _ : state) {
+    Network net(cfg);
+    benchmark::DoNotOptimize(net.num_channels());
+  }
+}
+BENCHMARK(BM_NetworkConstruction)->Unit(benchmark::kMillisecond)->Arg(4);
+
+/// One simulated cycle, pre-warmed network: range(0) = h,
+/// range(1) = offered load in percent of a phit/(node*cycle).
+void BM_NetworkStep(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.h = static_cast<u32>(state.range(0));
+  cfg.routing = RoutingKind::kOfar;
+  const double load = static_cast<double>(state.range(1)) / 100.0;
+  Network net(cfg);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::uniform(), load, 7));
+  net.run(3000);  // warm-up outside the timed region
+  for (auto _ : state) net.step();
+  state.counters["delivered_pkts/s"] = benchmark::Counter(
+      static_cast<double>(net.stats().delivered_packets()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetworkStep)
+    ->Unit(benchmark::kMicrosecond)
+    ->Args({4, 10})
+    ->Args({4, 30})
+    ->Args({4, 50});
+
+void BM_NetworkStepAdversarial(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.h = static_cast<u32>(state.range(0));
+  cfg.routing = RoutingKind::kOfar;
+  Network net(cfg);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::adversarial(cfg.h), 0.25, 7));
+  net.run(3000);
+  for (auto _ : state) net.step();
+}
+BENCHMARK(BM_NetworkStepAdversarial)->Unit(benchmark::kMicrosecond)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Lightweight checked-invariant macros.
+//
+// OFAR_CHECK is always on (cheap, used on cold paths such as construction);
+// OFAR_DCHECK compiles out in release builds and is used in per-cycle code.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ofar::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "OFAR_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace ofar::detail
+
+#define OFAR_CHECK(cond)                                            \
+  do {                                                              \
+    if (!(cond)) [[unlikely]]                                       \
+      ::ofar::detail::check_failed(#cond, __FILE__, __LINE__, "");  \
+  } while (false)
+
+#define OFAR_CHECK_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond)) [[unlikely]]                                        \
+      ::ofar::detail::check_failed(#cond, __FILE__, __LINE__, msg);  \
+  } while (false)
+
+#ifndef NDEBUG
+#define OFAR_DCHECK(cond) OFAR_CHECK(cond)
+#else
+#define OFAR_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#endif

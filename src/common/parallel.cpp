@@ -1,0 +1,40 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace ofar {
+
+void run_parallel(const std::vector<std::function<void()>>& jobs,
+                  unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads == 1 || jobs.size() <= 1) {
+    for (const auto& job : jobs) job();
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      jobs[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  const unsigned n = std::min<std::size_t>(threads, jobs.size());
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) jobs.emplace_back([&fn, i] { fn(i); });
+  run_parallel(jobs, threads);
+}
+
+}  // namespace ofar

@@ -1,0 +1,25 @@
+// Thread-parallel job runner for parameter sweeps.
+//
+// Each simulation point is an independent job (own network, own RNG), so
+// sweeps are embarrassingly parallel. On a single-core host this degrades
+// gracefully to sequential execution.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ofar {
+
+/// Runs `jobs` functions, at most `threads` concurrently (0 = hardware
+/// concurrency). Jobs may run in any order; exceptions escaping a job
+/// terminate the process (jobs are expected to handle their own errors).
+void run_parallel(const std::vector<std::function<void()>>& jobs,
+                  unsigned threads = 0);
+
+/// Convenience: invokes fn(i) for i in [0, count) in parallel.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace ofar

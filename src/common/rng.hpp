@@ -1,0 +1,83 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The simulator must be reproducible per seed (same seed -> same packet
+// trace), so every stochastic component owns its own SplitMix64-seeded
+// xoshiro256** instance rather than sharing global state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ofar {
+
+/// SplitMix64: used only to expand a 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) noexcept : state_(seed) {}
+
+  constexpr u64 next() noexcept {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Public-domain algorithm.
+class Rng {
+ public:
+  using result_type = u64;
+
+  Rng() noexcept : Rng(0x0FA20FA20FA20FA2ULL) {}
+
+  explicit Rng(u64 seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~u64{0}; }
+
+  u64 operator()() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction.
+  u32 below(u32 bound) noexcept {
+    const u64 x = (*this)() >> 32;
+    return static_cast<u32>((x * bound) >> 32);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u32 range(u32 lo, u32 hi) noexcept { return lo + below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace ofar

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace ofar {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  OFAR_CHECK(!columns_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  OFAR_CHECK_MSG(cells.size() == columns_.size(),
+                 "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format(const Cell& cell) {
+  char buf[64];
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* d = std::get_if<double>(&cell)) {
+    std::snprintf(buf, sizeof buf, "%.4g", *d);
+    return buf;
+  }
+  if (const auto* i = std::get_if<i64>(&cell)) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(*i));
+    return buf;
+  }
+  const auto u = std::get<u64>(cell);
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(u));
+  return buf;
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& line = text.emplace_back();
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(format(row[c]));
+      width[c] = std::max(width[c], line.back().size());
+    }
+  }
+  std::printf("\n== %s ==\n", title.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::printf("%-*s ", static_cast<int>(width[c]), columns_[c].c_str());
+  std::printf("\n");
+  for (const auto& line : text) {
+    for (std::size_t c = 0; c < line.size(); ++c)
+      std::printf("%-*s ", static_cast<int>(width[c]), line[c].c_str());
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    out << (c != 0 ? "," : "") << columns_[c];
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c != 0 ? "," : "") << format(row[c]);
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace ofar

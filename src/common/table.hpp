@@ -1,0 +1,39 @@
+// Result-table emitter used by the bench harness: prints an aligned
+// human-readable table to stdout and optionally a CSV file, so every figure
+// reproduction yields both a terminal view and a machine-readable series.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ofar {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, i64, u64>;
+
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends one row; the number of cells must match the column count.
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the aligned table (with a title line) to stdout.
+  void print(const std::string& title) const;
+
+  /// Writes the table as CSV. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  /// Cell formatting used everywhere (doubles use %.4g style).
+  static std::string format(const Cell& cell);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace ofar

@@ -1,0 +1,39 @@
+// Fundamental integer aliases and small strong types used across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ofar {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulation time, in router cycles.
+using Cycle = u64;
+
+/// Identifier of a router in the whole network, in [0, routers()).
+using RouterId = u32;
+/// Identifier of a processing node in the whole network, in [0, nodes()).
+using NodeId = u32;
+/// Identifier of a group, in [0, groups()).
+using GroupId = u32;
+/// Index of a port within one router.
+using PortId = u16;
+/// Virtual-channel index within one port.
+using VcId = u8;
+/// Identifier of a unidirectional channel (link) in the network.
+using ChannelId = u32;
+/// Slab index of a live packet (see PacketPool).
+using PacketId = u32;
+
+inline constexpr PacketId kInvalidPacket = std::numeric_limits<PacketId>::max();
+inline constexpr ChannelId kInvalidChannel = std::numeric_limits<ChannelId>::max();
+inline constexpr PortId kInvalidPort = std::numeric_limits<PortId>::max();
+inline constexpr u32 kInvalidIndex = std::numeric_limits<u32>::max();
+
+}  // namespace ofar

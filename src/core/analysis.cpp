@@ -1,0 +1,49 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ofar::analysis {
+
+double adv_offset_max_local_load(const Dragonfly& topo, u32 offset) {
+  OFAR_CHECK(offset >= 1 && offset < topo.groups());
+  const u32 groups = topo.groups();
+  if (groups < 3) return 0.0;  // no transit groups exist
+  const u32 a = topo.a();
+  const double per_pair_rate =
+      (2.0 * topo.h() * topo.h()) / static_cast<double>(groups - 2);
+
+  // By vertex-transitivity over groups it suffices to examine one transit
+  // group X; accumulate the load every (i -> i+offset) flow places on each
+  // directed local link (entry carrier -> exit carrier) of X.
+  double max_load = 0.0;
+  const GroupId x = 0;
+  std::vector<std::vector<double>> link_load(a, std::vector<double>(a, 0.0));
+  for (GroupId i = 0; i < groups; ++i) {
+    const GroupId dst = (i + offset) % groups;
+    if (i == x || dst == x || i == dst) continue;
+    const u32 entry = topo.slot_carrier(topo.peer_slot(topo.global_slot(i, x)));
+    const u32 exit = topo.slot_carrier(topo.global_slot(x, dst));
+    if (entry == exit) continue;  // same router: no local hop needed
+    link_load[entry][exit] += per_pair_rate;
+    max_load = std::max(max_load, link_load[entry][exit]);
+  }
+  // Load factor per unit offered load per node: each node offers lambda,
+  // the per-pair rate above already counts the full group's 2h^2 nodes.
+  return max_load / (2.0 * topo.h() * topo.h());
+}
+
+double valiant_adv_offset_ceiling(const Dragonfly& topo, u32 offset) {
+  const double local_factor = adv_offset_max_local_load(topo, offset);
+  // Local link capacity is 1 phit/cycle; it carries local_factor * 2h^2 *
+  // lambda. The global bound is Valiant's 0.5.
+  const double local_ceiling =
+      local_factor > 0.0
+          ? 1.0 / (local_factor * 2.0 * topo.h() * topo.h())
+          : 1.0;
+  return std::min(valiant_global_ceiling(), local_ceiling);
+}
+
+}  // namespace ofar::analysis

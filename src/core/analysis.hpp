@@ -1,0 +1,45 @@
+// Closed-form throughput ceilings from the paper's §III analysis, plus a
+// generalisation that predicts the whole Fig. 2b curve: for any ADV+N
+// offset, the expected load on every local link of a transit group under
+// Valiant routing follows from the consecutive global wiring alone, and
+// the busiest such link caps the accepted load.
+//
+// All ceilings are in phits/(node*cycle), assuming ideal (contention-free)
+// switching — simulated values sit below them by the router efficiency.
+#pragma once
+
+#include "common/types.hpp"
+#include "topology/dragonfly.hpp"
+
+namespace ofar::analysis {
+
+/// MIN under any single-destination-group adversarial pattern: the whole
+/// group's 2h^2 nodes share one global link (paper §III).
+inline double min_adversarial_ceiling(u32 h) noexcept {
+  return 1.0 / (2.0 * h * h);
+}
+
+/// Valiant (and any always-misrouting scheme): two global hops per packet
+/// over h global links per router's worth of injection (paper §III).
+inline constexpr double valiant_global_ceiling() noexcept { return 0.5; }
+
+/// MIN under a same-router neighbour pattern: h nodes share one local link.
+inline double min_local_neighbour_ceiling(u32 h) noexcept { return 1.0 / h; }
+
+/// Valiant under ADV+(k*h): the consecutive wiring funnels all transit
+/// traffic of a group pair through one local link (paper §III, Fig. 2a).
+inline double valiant_advh_local_ceiling(u32 h) noexcept { return 1.0 / h; }
+
+/// Expected Valiant load, per unit of offered load, on the busiest local
+/// link of a transit group under ADV+`offset` — derived from the wiring:
+/// source group i enters transit group X on the carrier of the i->X link
+/// and must leave via the carrier of the X->(i+offset) link; summing the
+/// per-pair rate 2h^2/(groups-2) over all source groups gives each local
+/// link's load factor.
+double adv_offset_max_local_load(const Dragonfly& topo, u32 offset);
+
+/// Predicted Valiant accepted-load ceiling for ADV+`offset`: the binding
+/// constraint between the global bound (0.5) and the busiest local link.
+double valiant_adv_offset_ceiling(const Dragonfly& topo, u32 offset);
+
+}  // namespace ofar::analysis

@@ -1,0 +1,60 @@
+#include "core/escape_ring.hpp"
+
+#include "sim/network.hpp"
+
+namespace ofar {
+
+RouteChoice EscapeRingControl::ring_step(Network& net, RouterId at,
+                                         u32 need) const {
+  const Network::RingOut& ro = net.ring_out(at);
+  const OutputPort& out = net.router(at).outputs[ro.port];
+  if (!out.wired() || out.busy()) return RouteChoice::none();
+  VcId vc;
+  if (!out.best_vc(ro.first_vc, ro.num_vcs, need, vc))
+    return RouteChoice::none();
+  return RouteChoice::to(ro.port, vc);
+}
+
+RouteChoice EscapeRingControl::ride(Network& net, RouterId at,
+                                    Packet& pkt) const {
+  const Dragonfly& topo = net.topo();
+  const Router& r = net.router(at);
+
+  if (at == pkt.dst_router) {
+    // Delivery from the ring: request the ejection port.
+    const PortId eject = topo.node_port(topo.node_slot(pkt.dst));
+    if (net.base_available(r, eject)) {
+      VcId vc;
+      net.best_base_vc(r, eject, vc);
+      RouteChoice c = RouteChoice::to(eject, vc);
+      c.exit_ring = true;
+      return c;
+    }
+    return RouteChoice::none();  // wait for the ejection port
+  }
+
+  // Abandon the ring through the minimal output when it is free and the
+  // livelock budget allows another exit.
+  if (pkt.ring_exits < max_exits_) {
+    const PortId min_port = min_port_to_router(net, at, pkt.dst_router);
+    if (net.base_available(r, min_port)) {
+      VcId vc;
+      net.best_base_vc(r, min_port, vc);
+      RouteChoice c = RouteChoice::to(min_port, vc);
+      c.exit_ring = true;
+      return c;
+    }
+  }
+  // Otherwise keep riding: in-ring movement needs one packet of space.
+  return ring_step(net, at, packet_size_);
+}
+
+RouteChoice EscapeRingControl::enter(Network& net, RouterId at) const {
+  // Bubble condition: the next ring buffer must fit this packet PLUS one
+  // more (the bubble), so the ring can always drain.
+  RouteChoice c = ring_step(net, at, 2 * packet_size_);
+  if (c.valid) c.enter_ring = true;
+  return c;
+}
+
+}  // namespace ofar

@@ -1,0 +1,107 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+
+#include "common/parallel.hpp"
+#include "sim/network.hpp"
+#include "traffic/generator.hpp"
+
+namespace ofar {
+
+SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
+                        double load, const RunParams& params) {
+  Network net(cfg);
+  net.set_traffic(
+      std::make_unique<BernoulliSource>(pattern, load, cfg.seed));
+  net.run(params.warmup);
+  net.stats().reset(net.now());
+  net.run(params.measure);
+
+  const Stats& s = net.stats();
+  SteadyResult out;
+  out.offered_load = s.offered_load(net.now(), net.topo().nodes());
+  out.accepted_load = s.accepted_load(net.now(), net.topo().nodes());
+  out.avg_latency = s.latency().mean();
+  out.stddev_latency = s.latency().stddev();
+  out.delivered_packets = s.delivered_packets();
+  out.local_misroutes = s.local_misroutes();
+  out.global_misroutes = s.global_misroutes();
+  out.ring_entries = s.ring_entries();
+  out.stalled_packets = s.stalled_packets();
+  out.worst_stall = s.worst_stall();
+  out.mean_hops = s.mean_hops();
+  return out;
+}
+
+std::vector<SweepPoint> run_load_sweep(const SimConfig& cfg,
+                                       const TrafficPattern& pattern,
+                                       const std::vector<double>& loads,
+                                       const RunParams& params,
+                                       unsigned threads) {
+  std::vector<SweepPoint> points(loads.size());
+  parallel_for(
+      loads.size(),
+      [&](std::size_t i) {
+        points[i].load = loads[i];
+        points[i].result = run_steady(cfg, pattern, loads[i], params);
+      },
+      threads);
+  return points;
+}
+
+TransientResult run_transient(const SimConfig& cfg,
+                              const TrafficPattern& pattern_a, double load_a,
+                              const TrafficPattern& pattern_b, double load_b,
+                              const TransientParams& params) {
+  Network net(cfg);
+  const Cycle switch_at = params.warmup;
+  std::vector<PhasedSource::Phase> phases;
+  phases.push_back({pattern_a, load_a, switch_at, /*tag_base=*/0});
+  phases.push_back({pattern_b, load_b, /*until=*/0,
+                    static_cast<u16>(pattern_a.components().size())});
+  net.set_traffic(std::make_unique<PhasedSource>(std::move(phases), cfg.seed));
+
+  const Cycle series_start = switch_at > params.lead ? switch_at - params.lead
+                                                     : 0;
+  net.stats().enable_timeseries(series_start, params.lead + params.horizon,
+                                params.bucket);
+  net.run(switch_at + params.horizon + params.drain);
+
+  TransientResult out;
+  const TimeSeries* ts = net.stats().series();
+  for (std::size_t i = 0; i < ts->num_buckets(); ++i) {
+    const auto& b = ts->bucket(i);
+    TransientBucket tb;
+    tb.cycle_rel = static_cast<i64>(ts->bucket_mid(i)) -
+                   static_cast<i64>(switch_at);
+    tb.mean_latency = b.mean();
+    tb.packets = b.count;
+    out.series.push_back(tb);
+  }
+  return out;
+}
+
+BurstResult run_burst(const SimConfig& cfg, const TrafficPattern& pattern,
+                      u32 packets_per_node, Cycle max_cycles) {
+  Network net(cfg);
+  auto source =
+      std::make_unique<BurstSource>(pattern, packets_per_node, cfg.seed);
+  BurstSource* burst = source.get();
+  net.set_traffic(std::move(source));
+
+  BurstResult out;
+  while (net.now() < max_cycles) {
+    net.step();
+    if (burst->finished() && net.drained()) {
+      out.completed = true;
+      break;
+    }
+  }
+  out.completion = net.now();
+  out.delivered_packets = net.stats().delivered_packets();
+  out.avg_latency = net.stats().latency().mean();
+  out.ring_entries = net.stats().ring_entries();
+  return out;
+}
+
+}  // namespace ofar

@@ -1,0 +1,90 @@
+// High-level experiment drivers: the three measurement protocols of the
+// paper's evaluation (§VI) as reusable library calls.
+//
+//  - run_steady / run_load_sweep: warm-up then windowed measurement of
+//    latency and accepted throughput at fixed offered load (Figs. 3-5, 8, 9);
+//  - run_transient: pattern switch at a cycle boundary, latency accounted
+//    to the cycle each packet was sent (Fig. 6);
+//  - run_burst: fixed per-node packet budget injected as fast as possible,
+//    measuring the cycle the network drains (Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "traffic/pattern.hpp"
+
+namespace ofar {
+
+struct RunParams {
+  Cycle warmup = 20'000;
+  Cycle measure = 30'000;
+};
+
+struct SteadyResult {
+  double offered_load = 0.0;   ///< phits/(node*cycle) generated in window
+  double accepted_load = 0.0;  ///< phits/(node*cycle) delivered in window
+  double avg_latency = 0.0;    ///< cycles, delivered packets in window
+  double stddev_latency = 0.0;
+  u64 delivered_packets = 0;
+  u64 local_misroutes = 0;
+  u64 global_misroutes = 0;
+  u64 ring_entries = 0;
+  u64 stalled_packets = 0;  ///< deadlock-watchdog hits (0 in healthy runs)
+  u64 worst_stall = 0;      ///< longest observed head-of-line wait, cycles
+  double mean_hops = 0.0;
+};
+
+/// One steady-state point: fresh network, Bernoulli traffic at `load`.
+SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
+                        double load, const RunParams& params = {});
+
+struct SweepPoint {
+  double load = 0.0;
+  SteadyResult result;
+};
+
+/// Load sweep; points run in parallel worker threads when available.
+std::vector<SweepPoint> run_load_sweep(const SimConfig& cfg,
+                                       const TrafficPattern& pattern,
+                                       const std::vector<double>& loads,
+                                       const RunParams& params = {},
+                                       unsigned threads = 0);
+
+struct TransientParams {
+  Cycle warmup = 30'000;      ///< cycles of pattern A before the switch
+  Cycle horizon = 20'000;     ///< observed birth-cycle span after the switch
+  Cycle lead = 2'000;         ///< observed span before the switch
+  Cycle drain = 30'000;       ///< extra cycles so late packets deliver
+  u32 bucket = 100;           ///< series bucket width, cycles
+};
+
+struct TransientBucket {
+  i64 cycle_rel = 0;  ///< bucket centre relative to the switch cycle
+  double mean_latency = 0.0;
+  u64 packets = 0;
+};
+
+struct TransientResult {
+  std::vector<TransientBucket> series;
+};
+
+/// Pattern A at load_a until the switch, then pattern B at load_b.
+TransientResult run_transient(const SimConfig& cfg,
+                              const TrafficPattern& pattern_a, double load_a,
+                              const TrafficPattern& pattern_b, double load_b,
+                              const TransientParams& params = {});
+
+struct BurstResult {
+  Cycle completion = 0;  ///< cycle at which every packet was delivered
+  u64 delivered_packets = 0;
+  double avg_latency = 0.0;
+  u64 ring_entries = 0;
+  bool completed = false;  ///< false when max_cycles elapsed first
+};
+
+/// Every node injects `packets_per_node` packets as fast as possible.
+BurstResult run_burst(const SimConfig& cfg, const TrafficPattern& pattern,
+                      u32 packets_per_node, Cycle max_cycles = 5'000'000);
+
+}  // namespace ofar

@@ -1,0 +1,147 @@
+#include "core/ofar_routing.hpp"
+
+#include "sim/network.hpp"
+
+namespace ofar {
+
+OfarPolicy::OfarPolicy(const SimConfig& cfg, bool allow_local)
+    : thresholds_(cfg.thresholds),
+      ring_(cfg),
+      allow_local_(allow_local),
+      rng_(cfg.seed ^ 0x4F464152ULL) {}
+
+void OfarPolicy::collect_local(Network& net, RouterId at, PortId min_port,
+                               double th, std::vector<PortId>& out) const {
+  const Dragonfly& topo = net.topo();
+  const Router& r = net.router(at);
+  const PortId first = topo.first_local_port();
+  for (PortId port = first; port < first + topo.a() - 1; ++port) {
+    if (port == min_port) continue;
+    if (!net.base_available(r, port)) continue;
+    const double occ = net.base_occupancy(r, port);
+    if (occ >= th || occ > gap_ceiling_) continue;
+    out.push_back(port);
+  }
+}
+
+void OfarPolicy::collect_global(Network& net, RouterId at, PortId min_port,
+                                GroupId dst_group, double th,
+                                std::vector<PortId>& out) const {
+  const Dragonfly& topo = net.topo();
+  const Router& r = net.router(at);
+  const PortId first = topo.first_global_port();
+  for (PortId port = first; port < first + topo.h(); ++port) {
+    if (port == min_port) continue;
+    if (!topo.global_port_wired(at, port)) continue;
+    // Never "misroute" straight into the destination group: that link is
+    // the minimal one and is carried by a different router anyway.
+    if (topo.slot_target(topo.group_of(at),
+                         topo.port_slot(topo.local_of(at), port)) == dst_group)
+      continue;
+    if (!net.base_available(r, port)) continue;
+    const double occ = net.base_occupancy(r, port);
+    if (occ >= th || occ > gap_ceiling_) continue;
+    out.push_back(port);
+  }
+}
+
+RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
+                              VcId in_vc, Packet& pkt) {
+  const Dragonfly& topo = net.topo();
+  const Router& r = net.router(at);
+  const GroupId here = topo.group_of(at);
+
+  // Crossing into a new group re-arms the per-group local-misroute flag.
+  if (pkt.flag_group != here) {
+    pkt.flag_group = here;
+    pkt.local_misrouted = false;
+  }
+
+  // Packets riding the escape ring follow the ring discipline.
+  if (net.is_ring_input(at, in_port, in_vc)) {
+    OFAR_DCHECK(pkt.in_ring);
+    return ring_.ride(net, at, pkt);
+  }
+
+  const bool at_dst = at == pkt.dst_router;
+  const PortId min_port = at_dst
+                              ? topo.node_port(topo.node_slot(pkt.dst))
+                              : min_port_to_router(net, at, pkt.dst_router);
+
+  // 1. Minimal output, whenever it can take the whole packet right now.
+  if (net.base_available(r, min_port)) {
+    VcId vc;
+    net.best_base_vc(r, min_port, vc);
+    return RouteChoice::to(min_port, vc);
+  }
+
+  // At the destination router the only sensible move is to wait for the
+  // ejection port; misrouting or escaping would only lengthen the path.
+  if (at_dst) return RouteChoice::none();
+
+  // 2. Non-minimal candidates, gated by the thresholds (paper §IV-B).
+  const double q_min = net.base_occupancy(r, min_port);
+  if (q_min >= thresholds_.th_min) {
+    const double th = nonmin_threshold(q_min);
+    // Candidates must also clear the absolute gap guard (see config.hpp).
+    gap_ceiling_ = q_min - thresholds_.min_gap;
+    const GroupId src_group = topo.group_of_node(pkt.src);
+    const GroupId dst_group = topo.group_of(pkt.dst_router);
+    const bool min_is_local =
+        topo.port_class(min_port) == PortClass::kLocal;
+
+    const bool local_flag_free = allow_local_ && !pkt.local_misrouted;
+    // Local misroute: in the source group of inter-group traffic it is
+    // always an option; elsewhere only when the minimal output itself is a
+    // congested local port (paper §IV-A).
+    const bool local_allowed =
+        local_flag_free &&
+        ((here == src_group && here != dst_group) || min_is_local);
+    const bool global_allowed = here == src_group && here != dst_group &&
+                                !pkt.global_misrouted;
+
+    const PortClass in_class = topo.port_class(in_port);
+    scratch_.clear();
+    if (here == src_group && here != dst_group && in_class == PortClass::kNode) {
+      // Injection queues misroute globally (saves Valiant's first local hop).
+      if (global_allowed) collect_global(net, at, min_port, dst_group, th,
+                                         scratch_);
+      if (scratch_.empty() && local_allowed)
+        collect_local(net, at, min_port, th, scratch_);
+    } else {
+      // Transit queues: first locally, then globally (§IV-A starvation rule).
+      if (local_allowed) collect_local(net, at, min_port, th, scratch_);
+      if (scratch_.empty() && global_allowed)
+        collect_global(net, at, min_port, dst_group, th, scratch_);
+    }
+    if (!scratch_.empty()) {
+      const PortId pick = scratch_[rng_.below(
+          static_cast<u32>(scratch_.size()))];
+      VcId vc;
+      const bool ok = net.best_base_vc(r, pick, vc);
+      OFAR_DCHECK(ok);
+      (void)ok;
+      RouteChoice c = RouteChoice::to(pick, vc);
+      c.misroute = topo.port_class(pick) == PortClass::kLocal
+                       ? MisrouteKind::kLocal
+                       : MisrouteKind::kGlobal;
+      return c;
+    }
+  }
+
+  // 3. Last resort: the deadlock-free escape ring (bubble restricted).
+  // Entry only under true backpressure — the minimal output has no room for
+  // the whole packet on any VC. A port that is merely busy this cycle is
+  // actively draining and will free within a packet time; waiting cannot
+  // deadlock (deadlock requires a credit-starved dependency cycle).
+  u32 first, count;
+  net.base_vc_range(at, min_port, first, count);
+  VcId unused;
+  const bool starved =
+      !r.outputs[min_port].best_vc(first, count,
+                                   net.config().packet_size, unused);
+  if (!starved) return RouteChoice::none();
+  return ring_.enter(net, at);
+}
+
+}  // namespace ofar

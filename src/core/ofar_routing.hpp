@@ -1,0 +1,71 @@
+// OFAR: On-the-Fly Adaptive Routing — the paper's contribution (§IV).
+//
+// Unlike every VC-ordered predecessor, OFAR decides misrouting *in transit*,
+// per hop, from credit information local to the current router:
+//
+//  - each head packet has a recomputed minimal output every cycle; if that
+//    output can take the packet it is requested;
+//  - otherwise, if the misroute thresholds allow (Q_min >= Th_min and a
+//    candidate with occupancy <= Th_nonmin exists), the packet requests a
+//    random eligible non-minimal output:
+//      * global misroute — only in the source group, only once per packet
+//        (header flag), only for inter-group traffic. Packets still in
+//        their injection queue misroute globally (saving Valiant's first
+//        local hop); packets in local queues first misroute locally, then
+//        globally (preventing starvation of the saturated router's own
+//        nodes, §IV-A);
+//      * local misroute — once per group (header flag); outside the source
+//        group it is only allowed when the minimal output is itself a
+//        saturated local port;
+//  - as a last resort the packet asks to enter the deadlock-free escape
+//    ring (bubble-restricted injection, §IV-C).
+//
+// OFAR-L is the same policy with local misrouting disabled (the paper's
+// ablation that isolates the benefit of local misroute, §IV-A).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/escape_ring.hpp"
+#include "routing/routing.hpp"
+
+namespace ofar {
+
+class OfarPolicy final : public RoutingPolicy {
+ public:
+  OfarPolicy(const SimConfig& cfg, bool allow_local);
+
+  const char* name() const noexcept override {
+    return allow_local_ ? "OFAR" : "OFAR-L";
+  }
+
+  RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
+                    Packet& pkt) override;
+
+ private:
+  /// Threshold below which a non-minimal output is an eligible candidate.
+  double nonmin_threshold(double q_min) const noexcept {
+    return thresholds_.variable ? thresholds_.nonmin_factor * q_min
+                                : thresholds_.th_nonmin_static;
+  }
+
+  /// Appends eligible local-misroute candidate ports at router `at`.
+  void collect_local(Network& net, RouterId at, PortId min_port, double th,
+                     std::vector<PortId>& out) const;
+  /// Appends eligible global-misroute candidate ports at router `at`.
+  void collect_global(Network& net, RouterId at, PortId min_port,
+                      GroupId dst_group, double th,
+                      std::vector<PortId>& out) const;
+
+  MisrouteThresholds thresholds_;
+  /// Scratch: Q_min - min_gap for the decision in flight (set by route()
+  /// before the collect_* helpers run).
+  mutable double gap_ceiling_ = 1.0;
+  EscapeRingControl ring_;
+  bool allow_local_;
+  Rng rng_;
+  mutable std::vector<PortId> scratch_;
+};
+
+}  // namespace ofar

@@ -1,0 +1,21 @@
+#include "routing/minimal.hpp"
+
+#include "sim/network.hpp"
+
+namespace ofar {
+
+RouteChoice MinimalPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
+                                 VcId /*in_vc*/, Packet& pkt) {
+  const Dragonfly& topo = net.topo();
+  const PortId out = at == pkt.dst_router
+                         ? topo.node_port(topo.node_slot(pkt.dst))
+                         : min_port_to_router(net, at, pkt.dst_router);
+  const Router& r = net.router(at);
+  const OutputPort& port = r.outputs[out];
+  if (!port.wired() || port.busy()) return RouteChoice::none();
+  const VcId vc = ordered_vc(net, at, out, pkt);
+  if (port.credits[vc] < net.config().packet_size) return RouteChoice::none();
+  return RouteChoice::to(out, vc);
+}
+
+}  // namespace ofar

@@ -1,0 +1,21 @@
+// MIN: deterministic minimal routing (paper §V baseline).
+//
+// Packets follow the unique l-g-l minimal path under the hop-ordered VC
+// discipline; no adaptivity, no misrouting. MIN is the latency reference
+// under uniform traffic and the pathological case under adversarial
+// patterns (all inter-group traffic of a group shares one global link).
+#pragma once
+
+#include "routing/routing.hpp"
+
+namespace ofar {
+
+class MinimalPolicy final : public RoutingPolicy {
+ public:
+  const char* name() const noexcept override { return "MIN"; }
+
+  RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
+                    Packet& pkt) override;
+};
+
+}  // namespace ofar

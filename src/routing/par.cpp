@@ -1,0 +1,69 @@
+#include "routing/par.hpp"
+
+#include <algorithm>
+
+#include "sim/network.hpp"
+
+namespace ofar {
+
+VcId par_vc(const Network& net, PortId port, const Packet& pkt) {
+  const SimConfig& cfg = net.config();
+  switch (net.topo().port_class(port)) {
+    case PortClass::kGlobal:
+      return static_cast<VcId>(
+          std::min<u32>(pkt.global_hops, cfg.vcs_global - 1));
+    case PortClass::kLocal: {
+      // Before the first global hop a packet takes at most two local hops
+      // (the minimal try plus the divert) -> L0, L1. After global hop k
+      // the local level is k + 1 -> L2, L3.
+      const u32 level = pkt.global_hops == 0 ? pkt.local_hops_in_group
+                                             : pkt.global_hops + 1;
+      return static_cast<VcId>(std::min<u32>(level, cfg.vcs_local - 1));
+    }
+    default:
+      return 0;  // ejection
+  }
+}
+
+ParPolicy::ParPolicy(const SimConfig& cfg)
+    : ValiantPolicy(cfg), bias_(cfg.ugal_bias_phits) {}
+
+void ParPolicy::on_inject(Network&, Packet& pkt, RouterId) {
+  // Start minimal; the progressive decision happens hop by hop in route().
+  pkt.inter_group = kInvalidGroup;
+  pkt.inter_router = kInvalidRouter;
+  pkt.valiant_done = true;
+}
+
+RouteChoice ParPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
+                             VcId /*in_vc*/, Packet& pkt) {
+  const Dragonfly& topo = net.topo();
+
+  // Progressive re-evaluation: still in the source group, no global hop
+  // taken, not yet diverted, and at most one local hop spent (the divert
+  // itself needs the L1 level).
+  const bool adaptive = at != pkt.dst_router &&
+                        topo.group_of(at) == topo.group_of_node(pkt.src) &&
+                        pkt.global_hops == 0 &&
+                        pkt.inter_group == kInvalidGroup &&
+                        pkt.inter_router == kInvalidRouter &&
+                        pkt.local_hops_in_group <= 1;
+  if (adaptive) {
+    const UgalPaths paths = evaluate_ugal_paths(net, pkt, at, rng_);
+    if (paths.has_val && !ugal_prefers_minimal(paths, bias_)) {
+      pkt.inter_group = paths.inter_group;
+      pkt.inter_router = paths.inter_router;
+      pkt.valiant_done = false;
+    }
+  }
+
+  const PortId out = valiant_next_port(net, at, pkt);
+  const Router& r = net.router(at);
+  const OutputPort& port = r.outputs[out];
+  if (!port.wired() || port.busy()) return RouteChoice::none();
+  const VcId vc = par_vc(net, out, pkt);
+  if (port.credits[vc] < net.config().packet_size) return RouteChoice::none();
+  return RouteChoice::to(out, vc);
+}
+
+}  // namespace ofar

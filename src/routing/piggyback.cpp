@@ -1,0 +1,69 @@
+#include "routing/piggyback.hpp"
+
+#include "routing/ugal.hpp"
+#include "sim/network.hpp"
+
+namespace ofar {
+
+PiggybackPolicy::PiggybackPolicy(const SimConfig& cfg)
+    : ValiantPolicy(cfg),
+      threshold_(cfg.pb_saturation_threshold),
+      delay_(std::max(1u, cfg.pb_broadcast_delay)) {}
+
+void PiggybackPolicy::tick(Network& net) {
+  if (!initialised_) {
+    h_ = net.topo().h();
+    current_.assign(net.topo().routers() * h_, 0);
+    visible_.assign(net.topo().routers() * h_, 0);
+    initialised_ = true;
+  }
+  const Dragonfly& topo = net.topo();
+  const PortId first_global = topo.first_global_port();
+  for (RouterId r = 0; r < topo.routers(); ++r) {
+    const Router& router = net.router(r);
+    for (u32 j = 0; j < h_; ++j) {
+      const OutputPort& out = router.outputs[first_global + j];
+      const bool sat =
+          out.wired() &&
+          net.base_occupancy(router, static_cast<PortId>(first_global + j)) >
+              threshold_;
+      current_[r * h_ + j] = sat ? 1 : 0;
+    }
+  }
+  // Broadcast within each group every `delay_` cycles (piggyback latency).
+  if (net.now() - last_broadcast_ >= delay_) {
+    visible_ = current_;
+    last_broadcast_ = net.now();
+  }
+}
+
+void PiggybackPolicy::on_inject(Network& net, Packet& pkt, RouterId at) {
+  pkt.inter_group = kInvalidGroup;
+  pkt.inter_router = kInvalidRouter;
+  pkt.valiant_done = true;
+  if (at == pkt.dst_router) return;
+  const UgalPaths paths = evaluate_ugal_paths(net, pkt, at, rng_);
+
+  // Remote information: is the minimal path's global channel saturated?
+  bool min_global_saturated = false;
+  if (initialised_) {
+    const Dragonfly& topo = net.topo();
+    const GroupId gs = topo.group_of(at);
+    const GroupId gd = topo.group_of(pkt.dst_router);
+    if (gs != gd) {
+      const RouterId carrier = topo.carrier_router(gs, gd);
+      const u32 j = static_cast<u32>(topo.carrier_port(gs, gd)) -
+                    topo.first_global_port();
+      min_global_saturated = saturated(carrier, j);
+    }
+  }
+
+  if (!min_global_saturated &&
+      ugal_prefers_minimal(paths, net.config().ugal_bias_phits))
+    return;
+  pkt.inter_group = paths.inter_group;
+  pkt.inter_router = paths.inter_router;
+  pkt.valiant_done = !paths.has_val;
+}
+
+}  // namespace ofar

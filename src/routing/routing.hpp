@@ -1,0 +1,91 @@
+// Routing mechanism interface.
+//
+// A RoutingPolicy is consulted (a) once when a packet is injected — where
+// VAL/PB/UGAL fix their Valiant intermediate and PB/UGAL take their
+// minimal-vs-nonminimal decision — and (b) every cycle for every packet at
+// the head of an input VC (the paper's "routing decision ... revisited every
+// cycle as long as the packet remains in the queue head", §V).
+//
+// route() returns the single output (port, VC) the input unit will request
+// from the allocator this cycle, or an invalid choice to wait.
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "sim/packet.hpp"
+
+namespace ofar {
+
+class Network;
+
+enum class MisrouteKind : u8 { kNone, kLocal, kGlobal };
+
+struct RouteChoice {
+  PortId out_port = kInvalidPort;
+  VcId out_vc = 0;
+  MisrouteKind misroute = MisrouteKind::kNone;
+  bool enter_ring = false;  ///< requests the escape ring (bubble condition)
+  bool exit_ring = false;   ///< head is in the ring and leaves it here
+  bool valid = false;
+
+  static RouteChoice none() noexcept { return {}; }
+  static RouteChoice to(PortId port, VcId vc) noexcept {
+    RouteChoice c;
+    c.out_port = port;
+    c.out_vc = vc;
+    c.valid = true;
+    return c;
+  }
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Called when `pkt` enters the injection queue of router `at`.
+  virtual void on_inject(Network& net, Packet& pkt, RouterId at);
+
+  /// Desired output for the head packet of (in_port, in_vc) at router `at`.
+  /// Must only return outputs that are grantable right now: output port not
+  /// busy and enough credits on the chosen VC (the whole packet for VCT, one
+  /// extra packet — the bubble — when enter_ring is set).
+  virtual RouteChoice route(Network& net, RouterId at, PortId in_port,
+                            VcId in_vc, Packet& pkt) = 0;
+
+  /// Per-cycle global update hook (PB's intra-group broadcast).
+  virtual void tick(Network& net);
+};
+
+/// Builds the policy selected by cfg.routing (OFAR variants live in
+/// src/core, baselines in src/routing).
+std::unique_ptr<RoutingPolicy> make_policy(const SimConfig& cfg);
+
+// ---- shared helpers used by several mechanisms ----
+
+/// Output port of `cur` on the minimal path toward router `dst` (`cur` !=
+/// `dst`): the ejection port is never returned here — callers handle
+/// cur == dst themselves.
+PortId min_port_to_router(const Network& net, RouterId cur, RouterId dst);
+
+/// Output port of `cur` on the minimal path toward group `g` (`cur` must be
+/// outside `g`): the global port if `cur` carries the link, else the local
+/// port toward the carrier.
+PortId min_port_to_group(const Network& net, RouterId cur, GroupId g);
+
+/// Hop-ordered VC for a packet about to traverse `port` (VC-ordered
+/// mechanisms only): local hops use VC = #local hops taken, global hops use
+/// VC = #global hops taken.
+VcId ordered_vc(const Network& net, RouterId at, PortId port,
+                const Packet& pkt);
+
+/// Minimal-path next port for a Valiant-style packet: toward the
+/// intermediate (group or router) until reached, then toward dst.
+/// Marks the Valiant phase done when the intermediate is reached.
+/// Returns the ejection port when the packet is at its destination router.
+PortId valiant_next_port(const Network& net, RouterId at, Packet& pkt);
+
+}  // namespace ofar

@@ -1,0 +1,53 @@
+// UGAL-L (Kim et al., ISCA'08; referenced by the paper §II): injection-time
+// choice between the minimal path and one random Valiant path, using only
+// the local queue occupancies of the injection router:
+//
+//     route minimally  iff  q_min * H_min <= q_val * H_val + T.
+//
+// PB extends exactly this comparison with the piggybacked remote saturation
+// flag, so the path-evaluation helper lives here and is shared.
+#pragma once
+
+#include "common/rng.hpp"
+#include "routing/valiant.hpp"
+
+namespace ofar {
+
+/// Snapshot of the two candidate paths evaluated at injection.
+struct UgalPaths {
+  PortId min_port = kInvalidPort;  ///< first hop of the minimal path
+  u32 q_min = 0;                   ///< queued phits on that output
+  u32 h_min = 0;                   ///< router-to-router hops, minimal path
+  PortId val_port = kInvalidPort;  ///< first hop of the Valiant path
+  u32 q_val = 0;
+  u32 h_val = 0;
+  bool has_val = false;  ///< false when no Valiant candidate exists
+  GroupId inter_group = kInvalidGroup;
+  RouterId inter_router = kInvalidRouter;
+};
+
+/// Evaluates the minimal path and one random Valiant candidate for a packet
+/// injected at router `at`. Requires at != pkt.dst_router.
+UgalPaths evaluate_ugal_paths(Network& net, const Packet& pkt, RouterId at,
+                              Rng& rng);
+
+/// The UGAL comparison with additive bias T (phits).
+inline bool ugal_prefers_minimal(const UgalPaths& p, i32 bias) noexcept {
+  if (!p.has_val) return true;
+  return static_cast<i64>(p.q_min) * p.h_min <=
+         static_cast<i64>(p.q_val) * p.h_val + bias;
+}
+
+class UgalPolicy final : public ValiantPolicy {
+ public:
+  explicit UgalPolicy(const SimConfig& cfg);
+
+  const char* name() const noexcept override { return "UGAL"; }
+
+  void on_inject(Network& net, Packet& pkt, RouterId at) override;
+
+ private:
+  i32 bias_;
+};
+
+}  // namespace ofar

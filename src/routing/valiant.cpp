@@ -1,0 +1,63 @@
+#include "routing/valiant.hpp"
+
+#include <algorithm>
+
+#include "sim/network.hpp"
+
+namespace ofar {
+
+ValiantPolicy::ValiantPolicy(const SimConfig& cfg)
+    : rng_(cfg.seed ^ 0x56414c49414e54ULL) {}
+
+void ValiantPolicy::assign_intermediate(Network& net, Packet& pkt,
+                                        RouterId at) {
+  const Dragonfly& topo = net.topo();
+  pkt.inter_group = kInvalidGroup;
+  pkt.inter_router = kInvalidRouter;
+  pkt.valiant_done = true;
+  if (at == pkt.dst_router) return;  // same router: nothing to balance
+
+  const GroupId gs = topo.group_of(at);
+  const GroupId gd = topo.group_of(pkt.dst_router);
+  if (gs != gd) {
+    // Random intermediate group different from source and destination
+    // (paper §III: "misrouting applied to an intermediate group different
+    // from the source and destination groups").
+    if (topo.groups() < 3) return;  // no third group: degenerate to minimal
+    GroupId inter = rng_.below(topo.groups() - 2);
+    // Skip over gs and gd (order-independent two-hole skip).
+    const GroupId lo = std::min(gs, gd), hi = std::max(gs, gd);
+    if (inter >= lo) ++inter;
+    if (inter >= hi) ++inter;
+    pkt.inter_group = inter;
+    pkt.valiant_done = false;
+    return;
+  }
+  // Intra-group traffic: random intermediate router of the group.
+  if (topo.a() < 3) return;
+  const u32 ls = topo.local_of(at);
+  const u32 ld = topo.local_of(pkt.dst_router);
+  u32 inter = rng_.below(topo.a() - 2);
+  const u32 lo = std::min(ls, ld), hi = std::max(ls, ld);
+  if (inter >= lo) ++inter;
+  if (inter >= hi) ++inter;
+  pkt.inter_router = topo.router_at(gs, inter);
+  pkt.valiant_done = false;
+}
+
+void ValiantPolicy::on_inject(Network& net, Packet& pkt, RouterId at) {
+  assign_intermediate(net, pkt, at);
+}
+
+RouteChoice ValiantPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
+                                 VcId /*in_vc*/, Packet& pkt) {
+  const PortId out = valiant_next_port(net, at, pkt);
+  const Router& r = net.router(at);
+  const OutputPort& port = r.outputs[out];
+  if (!port.wired() || port.busy()) return RouteChoice::none();
+  const VcId vc = ordered_vc(net, at, out, pkt);
+  if (port.credits[vc] < net.config().packet_size) return RouteChoice::none();
+  return RouteChoice::to(out, vc);
+}
+
+}  // namespace ofar

@@ -1,0 +1,34 @@
+// VAL: Valiant routing (paper §V baseline; Valiant '82).
+//
+// Every inter-group packet is first sent minimally to a random intermediate
+// group (different from source and destination), then minimally to its
+// destination — the classic load-balancing answer to adversarial patterns,
+// at the price of doubled global-link utilisation. Intra-group packets
+// bounce through a random intermediate router of the group, which balances
+// local links the same way.
+#pragma once
+
+#include "common/rng.hpp"
+#include "routing/routing.hpp"
+
+namespace ofar {
+
+class ValiantPolicy : public RoutingPolicy {
+ public:
+  explicit ValiantPolicy(const SimConfig& cfg);
+
+  const char* name() const noexcept override { return "VAL"; }
+
+  void on_inject(Network& net, Packet& pkt, RouterId at) override;
+  RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
+                    Packet& pkt) override;
+
+ protected:
+  /// Assigns pkt's Valiant intermediate (group or router); used by the
+  /// adaptive injection-time mechanisms (PB/UGAL) as well.
+  void assign_intermediate(Network& net, Packet& pkt, RouterId at);
+
+  Rng rng_;
+};
+
+}  // namespace ofar

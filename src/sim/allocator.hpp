@@ -1,0 +1,51 @@
+// Iterative separable batch allocator (paper §V, resembling Gupta &
+// McKeown's crossbar scheduler): per cycle, each input unit requests one
+// output for its selected head packet; input-level and output-level LRS
+// arbiters match requests over a configurable number of iterations
+// (paper uses 3). Grants are per packet ("batch"): the winner streams its
+// whole packet before the ports rejoin arbitration.
+//
+// The allocator object owns reusable scratch buffers — allocation runs for
+// every router every cycle, so it must not touch the heap in steady state.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "routing/routing.hpp"
+#include "sim/router.hpp"
+
+namespace ofar {
+
+struct AllocRequest {
+  PortId in_port = 0;
+  VcId in_vc = 0;
+  PacketId packet = kInvalidPacket;
+  RouteChoice choice{};
+  bool granted = false;
+};
+
+class SeparableAllocator {
+ public:
+  /// `max_ports` = ports per router (scratch sizing).
+  explicit SeparableAllocator(u32 max_ports);
+
+  /// Runs the separable allocation over `reqs` (all requests of one router
+  /// for this cycle). Marks winning requests granted and updates the
+  /// router's LRS arbiter state. At most one grant per input port and per
+  /// output port.
+  void run(Router& router, std::vector<AllocRequest>& reqs, u32 iterations,
+           Cycle now);
+
+ private:
+  std::vector<std::vector<u32>> by_input_;   // request idx per input port
+  std::vector<std::vector<u32>> by_output_;  // request idx per output port
+  std::vector<u8> matched_in_;
+  std::vector<u8> matched_out_;
+  std::vector<u32> touched_inputs_;   // input ports with requests this cycle
+  std::vector<u32> touched_outputs_;  // output ports forwarded to, stage 2
+  std::vector<u32> vc_candidates_;
+  std::vector<u32> in_candidates_;
+};
+
+}  // namespace ofar

@@ -1,0 +1,2 @@
+// LrsArbiter is header-only; this TU compile-checks the header.
+#include "sim/arbiter.hpp"

@@ -1,0 +1,49 @@
+// Least-recently-served (LRS) arbiter (paper §V).
+//
+// Each arbiter remembers the cycle at which every candidate was last
+// granted and always picks the requesting candidate with the oldest grant
+// (ties broken by lower index), which is starvation-free.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ofar {
+
+class LrsArbiter {
+ public:
+  LrsArbiter() = default;
+  explicit LrsArbiter(u32 candidates) : last_grant_(candidates, 0) {}
+
+  u32 size() const noexcept { return static_cast<u32>(last_grant_.size()); }
+
+  /// Picks the least-recently-served index among `requesters` (indices into
+  /// this arbiter's candidate space). Does NOT update state; call grant().
+  u32 pick(std::span<const u32> requesters) const {
+    OFAR_DCHECK(!requesters.empty());
+    u32 best = requesters[0];
+    for (std::size_t i = 1; i < requesters.size(); ++i) {
+      const u32 c = requesters[i];
+      OFAR_DCHECK(c < last_grant_.size());
+      if (last_grant_[c] < last_grant_[best] ||
+          (last_grant_[c] == last_grant_[best] && c < best))
+        best = c;
+    }
+    return best;
+  }
+
+  void grant(u32 candidate, Cycle now) {
+    OFAR_DCHECK(candidate < last_grant_.size());
+    last_grant_[candidate] = now;
+  }
+
+  Cycle last_grant(u32 candidate) const { return last_grant_[candidate]; }
+
+ private:
+  std::vector<Cycle> last_grant_;
+};
+
+}  // namespace ofar

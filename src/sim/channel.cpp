@@ -1,0 +1,2 @@
+// Channel is plain data; this TU compile-checks the header in isolation.
+#include "sim/channel.hpp"

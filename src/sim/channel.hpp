@@ -1,0 +1,47 @@
+// Unidirectional channel (link) descriptors.
+//
+// Channels carry one phit per cycle with a fixed wire latency; phit and
+// credit propagation are executed by the Network's event wheels, so Channel
+// itself is plain data plus a utilisation counter.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ofar {
+
+enum class ChannelClass : u8 {
+  kLocal,       ///< intra-group link of the canonical dragonfly
+  kGlobal,      ///< inter-group link of the canonical dragonfly
+  kRingLocal,   ///< physical escape-ring wire inside a group
+  kRingGlobal,  ///< physical escape-ring wire between groups
+  kEjection,    ///< router -> processing-node link
+};
+
+const char* to_string(ChannelClass c) noexcept;
+
+struct Channel {
+  RouterId src_router = 0;
+  PortId src_port = 0;
+  // Destination: a router input port, or a node for ejection channels.
+  RouterId dst_router = 0;
+  PortId dst_port = 0;
+  NodeId dst_node = 0;  ///< valid only when cls == kEjection
+  u32 latency = 1;
+  ChannelClass cls = ChannelClass::kLocal;
+  u64 phits_carried = 0;  ///< utilisation counter (§III link-load analysis)
+
+  bool is_ejection() const noexcept { return cls == ChannelClass::kEjection; }
+};
+
+inline const char* to_string(ChannelClass c) noexcept {
+  switch (c) {
+    case ChannelClass::kLocal: return "local";
+    case ChannelClass::kGlobal: return "global";
+    case ChannelClass::kRingLocal: return "ring-local";
+    case ChannelClass::kRingGlobal: return "ring-global";
+    case ChannelClass::kEjection: return "ejection";
+  }
+  return "?";
+}
+
+}  // namespace ofar

@@ -1,0 +1,2 @@
+// VcFifo is header-only (hot path); this TU compile-checks the header.
+#include "sim/fifo.hpp"

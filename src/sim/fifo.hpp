@@ -1,0 +1,115 @@
+// Per-virtual-channel input FIFO with cut-through arrival tracking.
+//
+// Space accounting is done on the *upstream* side via credits (see
+// OutputPort); this class only tracks which packets are queued and how many
+// of their phits have physically arrived, so a transfer can start as soon as
+// the head phit is present (virtual cut-through) and never underruns.
+//
+// Storage is a flat power-of-two ring buffer (no heap traffic per packet):
+// this FIFO sits on the per-cycle hot path of every router.
+#pragma once
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ofar {
+
+class VcFifo {
+ public:
+  VcFifo() = default;
+  explicit VcFifo(u32 capacity_phits) : capacity_(capacity_phits) {
+    // Worst case every queued packet is a single phit, so capacity_ entries
+    // always suffice; round up to a power of two for cheap masking.
+    u32 slots = 2;
+    while (slots < capacity_phits + 1) slots <<= 1;
+    mask_ = slots - 1;
+    entries_ = std::make_unique<Entry[]>(slots);
+  }
+
+  VcFifo(VcFifo&&) = default;
+  VcFifo& operator=(VcFifo&&) = default;
+  VcFifo(const VcFifo& other) : VcFifo(other.capacity_) {
+    OFAR_CHECK_MSG(other.empty(), "VcFifo copy only supported when empty");
+  }
+  VcFifo& operator=(const VcFifo& other) {
+    OFAR_CHECK_MSG(other.empty(), "VcFifo copy only supported when empty");
+    *this = VcFifo(other.capacity_);
+    return *this;
+  }
+
+  u32 capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return head_ == tail_; }
+  u32 num_packets() const noexcept { return tail_ - head_; }
+
+  /// Phits physically stored right now (arrived and not yet forwarded).
+  u32 stored_phits() const noexcept { return stored_; }
+
+  PacketId head() const noexcept {
+    OFAR_DCHECK(!empty());
+    return entries_[head_ & mask_].packet;
+  }
+  /// Phits of the head packet available for forwarding.
+  u32 head_arrived() const noexcept {
+    OFAR_DCHECK(!empty());
+    return entries_[head_ & mask_].arrived;
+  }
+  u32 head_sent() const noexcept {
+    OFAR_DCHECK(!empty());
+    return entries_[head_ & mask_].sent;
+  }
+
+  /// A new packet's head phit arrived (tail entry created).
+  void push_packet(PacketId id) {
+    OFAR_DCHECK(num_packets() <= mask_);
+    entries_[tail_ & mask_] = {id, 1, 0};
+    ++tail_;
+    ++stored_;
+  }
+  /// A continuation phit of the most recent packet arrived.
+  void push_phit() {
+    OFAR_DCHECK(!empty());
+    ++entries_[(tail_ - 1) & mask_].arrived;
+    ++stored_;
+  }
+  /// Inserts a whole packet at once (injection queues: the node places the
+  /// full packet; space was checked by the caller against this FIFO).
+  void push_whole_packet(PacketId id, u32 size) {
+    OFAR_DCHECK(num_packets() <= mask_);
+    entries_[tail_ & mask_] = {id, static_cast<u16>(size), 0};
+    ++tail_;
+    stored_ += size;
+  }
+
+  /// One phit of the head packet leaves through the crossbar.
+  /// Returns true when that was the tail phit (entry popped).
+  bool pop_phit(u32 packet_size) {
+    OFAR_DCHECK(!empty());
+    Entry& e = entries_[head_ & mask_];
+    OFAR_DCHECK(e.sent < e.arrived);  // cut-through never underruns
+    ++e.sent;
+    --stored_;
+    if (e.sent == packet_size) {
+      ++head_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Entry {
+    PacketId packet;
+    u16 arrived;  // phits physically present or already forwarded
+    u16 sent;     // phits forwarded downstream
+  };
+
+  u32 capacity_ = 0;
+  u32 stored_ = 0;
+  u32 head_ = 0;  // monotonically increasing; index via & mask_
+  u32 tail_ = 0;
+  u32 mask_ = 0;
+  std::unique_ptr<Entry[]> entries_;
+};
+
+}  // namespace ofar

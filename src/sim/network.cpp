@@ -1,0 +1,675 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ofar {
+
+namespace {
+constexpr u32 kEjectionLatency = 1;
+constexpr u32 kEjectionCredits = 1u << 30;  // sink: effectively infinite
+constexpr Cycle kWatchdogPeriod = 4096;
+}  // namespace
+
+Network::Network(const SimConfig& cfg)
+    : cfg_(cfg),
+      topo_(cfg.h, cfg.groups, cfg.ring == RingKind::kPhysical),
+      rng_(cfg.seed) {
+  const std::string err = cfg_.validate();
+  OFAR_CHECK_MSG(err.empty(), err.c_str());
+
+  if (cfg_.ring != RingKind::kNone) build_ring();
+
+  // ---- routers: input FIFOs, output units, arbiters ----
+  const u32 ports = topo_.ports_per_router();
+  routers_.resize(topo_.routers());
+  for (RouterId r = 0; r < topo_.routers(); ++r) {
+    Router& router = routers_[r];
+    router.id = r;
+    router.inputs.resize(ports);
+    router.outputs.resize(ports);
+    router.input_mask.assign(ports, 0);
+    OFAR_CHECK_MSG(ports <= 64, "active-output bitmask is 64 bits wide");
+    u32 max_vcs = 1;
+    for (PortId port = 0; port < ports; ++port) {
+      u32 vcs = 0, cap = 0;
+      switch (topo_.port_class(port)) {
+        case PortClass::kNode:
+          vcs = cfg_.vcs_injection;
+          cap = cfg_.fifo_injection;
+          break;
+        case PortClass::kLocal:
+          vcs = cfg_.vcs_local;
+          cap = cfg_.fifo_local;
+          break;
+        case PortClass::kGlobal:
+          vcs = cfg_.vcs_global;
+          cap = cfg_.fifo_global;
+          break;
+        case PortClass::kRing: {
+          // Physical ring input receives from the ring predecessor; size the
+          // buffer for the wire class of that incoming hop.
+          vcs = cfg_.vcs_local;
+          const RouterId pred = ring_->predecessor(r);
+          cap = ring_->step_crosses_group(pred) ? cfg_.fifo_global
+                                                : cfg_.fifo_local;
+          break;
+        }
+      }
+      // Embedded escape ring: one extra VC on the port that receives the
+      // ring channel (paper §IV-C / §VII).
+      if (cfg_.ring == RingKind::kEmbedded && port == ring_in_port_[r]) {
+        ring_in_first_vc_[r] = vcs;
+        ring_in_num_vcs_[r] = 1;
+        vcs += 1;
+      }
+      InputPort& in = router.inputs[port];
+      in.vcs.assign(vcs, VcFifo(cap));
+      in.head_busy.assign(vcs, 0);
+      OFAR_CHECK_MSG(vcs <= 8, "input VC bitmask is 8 bits wide");
+      max_vcs = std::max(max_vcs, vcs);
+    }
+    for (const InputPort& in : router.inputs)
+      for (const VcFifo& f : in.vcs) router.buffer_capacity_phits += f.capacity();
+    router.input_arb.reserve(ports);
+    router.output_arb.reserve(ports);
+    for (PortId port = 0; port < ports; ++port) {
+      router.input_arb.emplace_back(max_vcs);
+      router.output_arb.emplace_back(ports);
+    }
+  }
+
+  build_channels();
+  size_output_credits();
+
+  alloc_ = std::make_unique<SeparableAllocator>(ports);
+  policy_ = make_policy(cfg_);
+  pending_.resize(topo_.nodes());
+
+  wheel_size_ =
+      std::max({cfg_.local_latency, cfg_.global_latency, kEjectionLatency}) +
+      1;
+  phit_wheel_.resize(wheel_size_);
+  credit_wheel_.resize(wheel_size_);
+}
+
+void Network::build_ring() {
+  ring_ = std::make_unique<HamiltonianRing>(topo_, cfg_.ring_stride);
+  const u32 n = topo_.routers();
+  ring_out_.resize(n);
+  ring_in_port_.assign(n, kInvalidPort);
+  ring_in_first_vc_.assign(n, 0);
+  ring_in_num_vcs_.assign(n, 0);
+  for (RouterId r = 0; r < n; ++r) {
+    RingOut& out = ring_out_[r];
+    if (cfg_.ring == RingKind::kPhysical) {
+      out.port = topo_.ring_port();
+      out.first_vc = 0;
+      out.num_vcs = cfg_.vcs_local;
+      ring_in_port_[r] = topo_.ring_port();
+      ring_in_first_vc_[r] = 0;
+      ring_in_num_vcs_[r] = cfg_.vcs_local;
+    } else {
+      out.port = ring_->embedded_out_port(r);
+      out.first_vc = ring_->step_crosses_group(r) ? cfg_.vcs_global
+                                                  : cfg_.vcs_local;
+      out.num_vcs = 1;
+      // The input side on the *successor* is that port's paired input; it
+      // is derived here from the predecessor's outgoing step.
+      const RouterId pred = ring_->predecessor(r);
+      const PortId pred_out = ring_->embedded_out_port(pred);
+      if (ring_->step_crosses_group(pred)) {
+        ring_in_port_[r] = topo_.global_peer(pred, pred_out).port;
+      } else {
+        ring_in_port_[r] =
+            topo_.local_port(topo_.local_of(r), topo_.local_of(pred));
+      }
+      // first_vc/num_vcs for the embedded case are filled in the router
+      // construction loop (they equal the port's base VC count / 1).
+    }
+  }
+}
+
+void Network::build_channels() {
+  const u32 ports = topo_.ports_per_router();
+  auto add_channel = [this](Channel ch) -> ChannelId {
+    const ChannelId id = static_cast<ChannelId>(channels_.size());
+    channels_.push_back(ch);
+    routers_[ch.src_router].outputs[ch.src_port].channel = id;
+    if (!ch.is_ejection()) routers_[ch.dst_router].inputs[ch.dst_port].in_channel = id;
+    return id;
+  };
+
+  for (RouterId r = 0; r < topo_.routers(); ++r) {
+    for (PortId port = 0; port < ports; ++port) {
+      Channel ch;
+      ch.src_router = r;
+      ch.src_port = port;
+      switch (topo_.port_class(port)) {
+        case PortClass::kNode:
+          ch.cls = ChannelClass::kEjection;
+          ch.dst_node = topo_.node_at(r, port);
+          ch.latency = kEjectionLatency;
+          add_channel(ch);
+          break;
+        case PortClass::kLocal: {
+          const u32 peer = topo_.local_peer(topo_.local_of(r), port);
+          ch.cls = ChannelClass::kLocal;
+          ch.dst_router = topo_.router_at(topo_.group_of(r), peer);
+          ch.dst_port = topo_.local_port(peer, topo_.local_of(r));
+          ch.latency = cfg_.local_latency;
+          add_channel(ch);
+          break;
+        }
+        case PortClass::kGlobal: {
+          if (!topo_.global_port_wired(r, port)) break;  // trimmed topology
+          const auto far = topo_.global_peer(r, port);
+          ch.cls = ChannelClass::kGlobal;
+          ch.dst_router = far.router;
+          ch.dst_port = far.port;
+          ch.latency = cfg_.global_latency;
+          add_channel(ch);
+          break;
+        }
+        case PortClass::kRing: {
+          const RouterId succ = ring_->successor(r);
+          const bool crosses = ring_->step_crosses_group(r);
+          ch.cls = crosses ? ChannelClass::kRingGlobal
+                           : ChannelClass::kRingLocal;
+          ch.dst_router = succ;
+          ch.dst_port = topo_.ring_port();
+          ch.latency = crosses ? cfg_.global_latency : cfg_.local_latency;
+          add_channel(ch);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Network::size_output_credits() {
+  for (const Channel& ch : channels_) {
+    OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
+    if (ch.is_ejection()) {
+      out.credits.assign(1, kEjectionCredits);
+      out.credit_cap.assign(1, kEjectionCredits);
+      continue;
+    }
+    const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
+    out.credits.resize(in.vcs.size());
+    out.credit_cap.resize(in.vcs.size());
+    for (std::size_t v = 0; v < in.vcs.size(); ++v) {
+      out.credits[v] = in.vcs[v].capacity();
+      out.credit_cap[v] = in.vcs[v].capacity();
+    }
+  }
+}
+
+void Network::set_traffic(std::unique_ptr<TrafficSource> source) {
+  traffic_ = std::move(source);
+}
+
+// ---------------------------------------------------------------------------
+// per-port queries
+// ---------------------------------------------------------------------------
+
+void Network::base_vc_range(RouterId r, PortId port, u32& first,
+                            u32& count) const {
+  first = 0;
+  count = 0;
+  switch (topo_.port_class(port)) {
+    case PortClass::kNode: count = 1; break;  // ejection output: one lane
+    case PortClass::kLocal: count = cfg_.vcs_local; break;
+    case PortClass::kGlobal: count = cfg_.vcs_global; break;
+    case PortClass::kRing: count = 0; break;  // escape-only port
+  }
+  (void)r;
+}
+
+bool Network::is_ring_input(RouterId r, PortId port, VcId vc) const {
+  if (ring_ == nullptr) return false;
+  if (port != ring_in_port_[r]) return false;
+  return vc >= ring_in_first_vc_[r] &&
+         vc < ring_in_first_vc_[r] + ring_in_num_vcs_[r];
+}
+
+double Network::base_occupancy(const Router& r, PortId port) const {
+  u32 first, count;
+  base_vc_range(r.id, port, first, count);
+  if (count == 0 || !r.outputs[port].wired()) return 1.0;
+  return r.outputs[port].occupancy(first, count);
+}
+
+bool Network::base_available(const Router& r, PortId port) const {
+  const OutputPort& out = r.outputs[port];
+  if (!out.wired() || out.busy()) return false;
+  u32 first, count;
+  base_vc_range(r.id, port, first, count);
+  VcId vc;
+  return count != 0 && out.best_vc(first, count, cfg_.packet_size, vc);
+}
+
+bool Network::best_base_vc(const Router& r, PortId port, VcId& vc) const {
+  u32 first, count;
+  base_vc_range(r.id, port, first, count);
+  if (count == 0) return false;
+  return r.outputs[port].best_vc(first, count, cfg_.packet_size, vc);
+}
+
+u32 Network::injection_free_phits(NodeId node) const {
+  const Router& r = routers_[topo_.router_of_node(node)];
+  const InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(node))];
+  u32 free = 0;
+  for (const VcFifo& f : in.vcs) free += f.capacity() - f.stored_phits();
+  return free;
+}
+
+// ---------------------------------------------------------------------------
+// injection
+// ---------------------------------------------------------------------------
+
+void Network::offer(NodeId src, NodeId dst, u16 tag) {
+  OFAR_DCHECK(src != dst && dst < topo_.nodes());
+  stats_.on_generated(tag, cfg_.packet_size);
+  pending_[src].push_back({dst, tag, now_});
+  ++pending_total_;
+}
+
+bool Network::try_inject(NodeId src, NodeId dst, u16 tag) {
+  Router& r = routers_[topo_.router_of_node(src)];
+  if (r.throttled) return false;
+  InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(src))];
+  u32 best_free = 0;
+  std::size_t best_vc = in.vcs.size();
+  for (std::size_t v = 0; v < in.vcs.size(); ++v) {
+    const u32 free = in.vcs[v].capacity() - in.vcs[v].stored_phits();
+    if (free >= cfg_.packet_size && free > best_free) {
+      best_free = free;
+      best_vc = v;
+    }
+  }
+  if (best_vc == in.vcs.size()) return false;
+  stats_.on_generated(tag, cfg_.packet_size);
+  place_packet(src, {dst, tag, now_});
+  return true;
+}
+
+void Network::place_packet(NodeId src, const Offer& offer) {
+  Router& r = routers_[topo_.router_of_node(src)];
+  InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(src))];
+  u32 best_free = 0;
+  std::size_t best_vc = in.vcs.size();
+  for (std::size_t v = 0; v < in.vcs.size(); ++v) {
+    const u32 free = in.vcs[v].capacity() - in.vcs[v].stored_phits();
+    if (free >= cfg_.packet_size && free > best_free) {
+      best_free = free;
+      best_vc = v;
+    }
+  }
+  OFAR_DCHECK(best_vc != in.vcs.size());  // caller checked space
+
+  const PacketId id = pool_.create();
+  Packet& pkt = pool_.get(id);
+  pkt.src = src;
+  pkt.dst = offer.dst;
+  pkt.dst_router = topo_.router_of_node(offer.dst);
+  pkt.size = static_cast<u16>(cfg_.packet_size);
+  pkt.pattern_tag = offer.tag;
+  pkt.birth = offer.birth;
+  pkt.last_progress = now_;
+  pkt.flag_group = topo_.group_of(r.id);
+
+  policy_->on_inject(*this, pkt, r.id);
+
+  in.vcs[best_vc].push_whole_packet(id, cfg_.packet_size);
+  ++r.buffered_packets;
+  r.buffered_phits += cfg_.packet_size;
+  r.input_mask[topo_.node_port(topo_.node_slot(src))] |=
+      static_cast<u8>(1u << best_vc);
+  stats_.on_injected();
+  if (tracer_) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kInject;
+    ev.packet = id;
+    ev.cycle = now_;
+    ev.router = r.id;
+    ev.src = src;
+    ev.dst = offer.dst;
+    tracer_(ev);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cycle phases
+// ---------------------------------------------------------------------------
+
+void Network::schedule_phit(ChannelId ch, PacketId pkt, VcId vc, bool head,
+                            bool tail, u32 latency) {
+  OFAR_DCHECK(latency >= 1 && latency < wheel_size_);
+  phit_wheel_[(now_ + latency) % wheel_size_].push_back(
+      {ch, pkt, vc, head ? u8{1} : u8{0}, tail ? u8{1} : u8{0}});
+}
+
+void Network::schedule_credit(ChannelId ch, VcId vc, u32 latency) {
+  OFAR_DCHECK(latency >= 1 && latency < wheel_size_);
+  credit_wheel_[(now_ + latency) % wheel_size_].push_back({ch, vc});
+}
+
+void Network::deliver_events() {
+  const u32 slot = static_cast<u32>(now_ % wheel_size_);
+  for (const PhitEvent& e : phit_wheel_[slot]) {
+    const Channel& ch = channels_[e.ch];
+    if (ch.is_ejection()) {
+      OFAR_DCHECK(ch.dst_node == pool_.get(e.pkt).dst);
+      if (e.tail) deliver_packet(e.pkt);
+      continue;
+    }
+    Router& dst = routers_[ch.dst_router];
+    VcFifo& fifo = dst.inputs[ch.dst_port].vcs[e.vc];
+    if (e.head) {
+      fifo.push_packet(e.pkt);
+      ++dst.buffered_packets;
+      dst.input_mask[ch.dst_port] |= static_cast<u8>(1u << e.vc);
+    } else {
+      fifo.push_phit();
+    }
+    ++dst.buffered_phits;
+    OFAR_DCHECK(fifo.stored_phits() <= fifo.capacity());
+  }
+  phit_wheel_[slot].clear();
+  for (const CreditEvent& e : credit_wheel_[slot]) {
+    const Channel& ch = channels_[e.ch];
+    OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
+    OFAR_DCHECK(e.vc < out.credits.size());
+    ++out.credits[e.vc];
+    OFAR_DCHECK(out.credits[e.vc] <= out.credit_cap[e.vc]);
+  }
+  credit_wheel_[slot].clear();
+}
+
+void Network::deliver_packet(PacketId id) {
+  const Packet& pkt = pool_.get(id);
+  stats_.on_delivered(pkt.pattern_tag, pkt.size, now_ - pkt.birth, pkt.birth,
+                      pkt.total_hops);
+  if (tracer_) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kDeliver;
+    ev.packet = id;
+    ev.cycle = now_;
+    ev.router = pkt.dst_router;
+    ev.src = pkt.src;
+    ev.dst = pkt.dst;
+    tracer_(ev);
+  }
+  pool_.destroy(id);
+}
+
+void Network::advance_transfers() {
+  for (Router& r : routers_) {
+    u64 mask = r.active_out_mask;
+    while (mask != 0) {
+      const u32 port = static_cast<u32>(__builtin_ctzll(mask));
+      mask &= mask - 1;
+      OutputPort& out = r.outputs[port];
+      OFAR_DCHECK(out.busy());
+      InputPort& in = r.inputs[out.src_port];
+      VcFifo& fifo = in.vcs[out.src_vc];
+      OFAR_DCHECK(!fifo.empty() && fifo.head() == out.active);
+      const Packet& pkt = pool_.get(out.active);
+      const bool head = out.phits_left == pkt.size;
+      const bool tail = out.phits_left == 1;
+      const bool popped = fifo.pop_phit(pkt.size);
+      OFAR_DCHECK(popped == tail);
+      if (in.in_channel != kInvalidChannel)
+        schedule_credit(in.in_channel, out.src_vc,
+                        channels_[in.in_channel].latency);
+      Channel& ch = channels_[out.channel];
+      ++ch.phits_carried;
+      schedule_phit(out.channel, out.active, out.active_vc, head, tail,
+                    ch.latency);
+      --out.phits_left;
+      --r.buffered_phits;
+      if (popped) {
+        --r.buffered_packets;
+        if (fifo.empty())
+          r.input_mask[out.src_port] &=
+              static_cast<u8>(~(1u << out.src_vc));
+      }
+      if (out.phits_left == 0) {
+        out.active = kInvalidPacket;
+        in.head_busy[out.src_vc] = 0;
+        --r.active_transfers;
+        r.active_out_mask &= ~(1ull << port);
+      }
+    }
+  }
+}
+
+void Network::do_allocation() {
+  for (Router& r : routers_) {
+    if (r.buffered_packets == 0) continue;
+    reqs_scratch_.clear();
+    for (PortId port = 0; port < r.inputs.size(); ++port) {
+      u8 mask = r.input_mask[port];
+      if (mask == 0) continue;
+      InputPort& in = r.inputs[port];
+      while (mask != 0) {
+        const VcId vc = static_cast<VcId>(__builtin_ctz(mask));
+        mask &= static_cast<u8>(mask - 1);
+        if (!in.has_head(vc)) continue;
+        Packet& pkt = pool_.get(in.vcs[vc].head());
+        const RouteChoice choice =
+            policy_->route(*this, r.id, port, vc, pkt);
+        if (!choice.valid) continue;
+        OFAR_DCHECK(!r.outputs[choice.out_port].busy());
+        OFAR_DCHECK(r.outputs[choice.out_port].credits[choice.out_vc] >=
+                    cfg_.packet_size);
+        reqs_scratch_.push_back(
+            {port, vc, in.vcs[vc].head(), choice, false});
+      }
+    }
+    if (reqs_scratch_.empty()) continue;
+    alloc_->run(r, reqs_scratch_, cfg_.allocator_iterations, now_);
+    for (const AllocRequest& rq : reqs_scratch_)
+      if (rq.granted) commit_grant(r, rq);
+  }
+}
+
+void Network::commit_grant(Router& r, const AllocRequest& rq) {
+  OutputPort& out = r.outputs[rq.choice.out_port];
+  Packet& pkt = pool_.get(rq.packet);
+  OFAR_DCHECK(!out.busy());
+  OFAR_DCHECK(out.credits[rq.choice.out_vc] >= pkt.size);
+
+  out.credits[rq.choice.out_vc] -= pkt.size;
+  out.active = rq.packet;
+  out.active_vc = rq.choice.out_vc;
+  out.src_port = rq.in_port;
+  out.src_vc = rq.in_vc;
+  out.phits_left = pkt.size;
+  ++r.active_transfers;
+  r.active_out_mask |= 1ull << rq.choice.out_port;
+  r.inputs[rq.in_port].head_busy[rq.in_vc] = 1;
+
+  pkt.last_progress = now_;
+
+  const bool ring_move =
+      rq.choice.enter_ring || (pkt.in_ring && !rq.choice.exit_ring);
+  if (rq.choice.enter_ring) {
+    pkt.in_ring = true;
+    stats_.on_ring_enter();
+  } else if (rq.choice.exit_ring) {
+    pkt.in_ring = false;
+    ++pkt.ring_exits;
+    stats_.on_ring_exit();
+  }
+  switch (rq.choice.misroute) {
+    case MisrouteKind::kLocal:
+      pkt.local_misrouted = true;
+      pkt.flag_group = topo_.group_of(r.id);
+      stats_.on_local_misroute();
+      break;
+    case MisrouteKind::kGlobal:
+      pkt.global_misrouted = true;
+      stats_.on_global_misroute();
+      break;
+    case MisrouteKind::kNone:
+      break;
+  }
+  if (tracer_) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kGrant;
+    ev.packet = rq.packet;
+    ev.cycle = now_;
+    ev.router = r.id;
+    ev.out_port = rq.choice.out_port;
+    ev.out_vc = rq.choice.out_vc;
+    ev.misroute = rq.choice.misroute;
+    ev.ring_move = ring_move;
+    ev.src = pkt.src;
+    ev.dst = pkt.dst;
+    tracer_(ev);
+  }
+  if (!ring_move) {
+    switch (topo_.port_class(rq.choice.out_port)) {
+      case PortClass::kLocal:
+        ++pkt.local_hops;
+        ++pkt.local_hops_in_group;
+        ++pkt.total_hops;
+        break;
+      case PortClass::kGlobal:
+        ++pkt.global_hops;
+        pkt.local_hops_in_group = 0;
+        ++pkt.total_hops;
+        break;
+      default:
+        break;
+    }
+  } else {
+    ++pkt.total_hops;
+  }
+}
+
+void Network::update_throttle() {
+  for (Router& r : routers_) {
+    const double occ = static_cast<double>(r.buffered_phits) /
+                       static_cast<double>(r.buffer_capacity_phits);
+    if (r.throttled) {
+      if (occ < cfg_.throttle_off) r.throttled = false;
+    } else if (occ > cfg_.throttle_on) {
+      r.throttled = true;
+    }
+  }
+}
+
+void Network::do_injection() {
+  if (cfg_.congestion_throttle) update_throttle();
+  if (traffic_) traffic_->tick(*this);
+  if (pending_total_ == 0) return;
+  for (NodeId n = 0; n < pending_.size(); ++n) {
+    auto& queue = pending_[n];
+    while (!queue.empty()) {
+      // place_packet requires space; probe first.
+      const Router& r = routers_[topo_.router_of_node(n)];
+      if (r.throttled) break;
+      const InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(n))];
+      bool fits = false;
+      for (const VcFifo& f : in.vcs)
+        if (f.capacity() - f.stored_phits() >= cfg_.packet_size) {
+          fits = true;
+          break;
+        }
+      if (!fits) break;
+      place_packet(n, queue.front());
+      queue.pop_front();
+      --pending_total_;
+    }
+  }
+}
+
+void Network::run_watchdog() {
+  u64 stalled = 0, worst = 0;
+  pool_.for_each_live([&](PacketId, const Packet& pkt) {
+    const u64 wait = now_ - pkt.last_progress;
+    worst = std::max(worst, wait);
+    if (wait > cfg_.deadlock_timeout) ++stalled;
+  });
+  stats_.on_watchdog(stalled, worst);
+}
+
+void Network::step() {
+  deliver_events();
+  policy_->tick(*this);
+  advance_transfers();
+  do_allocation();
+  do_injection();
+  if (now_ % kWatchdogPeriod == 0 && now_ != 0) run_watchdog();
+  ++now_;
+}
+
+void Network::run(u64 cycles) {
+  for (u64 i = 0; i < cycles; ++i) step();
+}
+
+bool Network::check_flow_conservation() const {
+  // Tally in-flight phits and credits per (channel, vc) from the wheels.
+  std::vector<std::vector<u32>> wire_phits(channels_.size());
+  std::vector<std::vector<u32>> wire_credits(channels_.size());
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    const std::size_t vcs =
+        routers_[channels_[c].src_router].outputs[channels_[c].src_port]
+            .credits.size();
+    wire_phits[c].assign(vcs, 0);
+    wire_credits[c].assign(vcs, 0);
+  }
+  for (const auto& slot : phit_wheel_)
+    for (const PhitEvent& e : slot) ++wire_phits[e.ch][e.vc];
+  for (const auto& slot : credit_wheel_)
+    for (const CreditEvent& e : slot) ++wire_credits[e.ch][e.vc];
+
+  for (ChannelId c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.is_ejection()) continue;  // sink credits are modelled as infinite
+    const OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
+    const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
+    for (std::size_t v = 0; v < out.credits.size(); ++v) {
+      u64 total = out.credits[v] + wire_phits[c][v] + wire_credits[c][v];
+      // Phits stored downstream on this VC, minus what has already been
+      // forwarded (those produced wire credits or are counted upstream).
+      const VcFifo& fifo = in.vcs[v];
+      total += fifo.stored_phits();
+      // An active transfer reserved the whole packet at grant time but has
+      // only sent size - phits_left so far.
+      if (out.busy() && out.active_vc == v) total += out.phits_left;
+      if (total != out.credit_cap[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool Network::check_quiescent() const {
+  if (!drained()) return false;
+  for (const Router& r : routers_) {
+    if (r.buffered_packets != 0 || r.active_transfers != 0 ||
+        r.active_out_mask != 0)
+      return false;
+    for (const InputPort& in : r.inputs)
+      for (const VcFifo& f : in.vcs)
+        if (!f.empty() || f.stored_phits() != 0) return false;
+    for (const OutputPort& out : r.outputs) {
+      if (out.busy()) return false;
+      for (std::size_t v = 0; v < out.credits.size(); ++v)
+        if (out.credits[v] != out.credit_cap[v] &&
+            out.credit_cap[v] != (1u << 30))  // ejection sinks drift by design
+          return false;
+    }
+  }
+  for (const auto& slot : phit_wheel_)
+    if (!slot.empty()) return false;
+  for (const auto& slot : credit_wheel_)
+    if (!slot.empty()) return false;
+  return true;
+}
+
+}  // namespace ofar

@@ -1,0 +1,215 @@
+// Single-cycle network engine (paper §V).
+//
+// Owns the topology, routers, channels, packet pool, routing policy, escape
+// ring, traffic source and statistics, and advances them one synchronous
+// cycle at a time:
+//
+//   1. deliver phit/credit events whose wire latency elapsed,
+//   2. policy tick (PB's intra-group congestion broadcast),
+//   3. advance active packet transfers (1 phit/cycle through the crossbar),
+//   4. routing decisions for every head packet + separable allocation,
+//   5. traffic generation and injection-queue filling,
+//   6. periodic deadlock watchdog.
+//
+// Timing conventions: a grant at cycle t streams phits at t+1..t+size; a
+// phit sent at cycle t is delivered at t + latency; the credit for a phit
+// leaving a FIFO at cycle t is usable upstream at t + latency.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "routing/routing.hpp"
+#include "sim/allocator.hpp"
+#include "sim/channel.hpp"
+#include "sim/packet_pool.hpp"
+#include "sim/router.hpp"
+#include "stats/stats.hpp"
+#include "topology/dragonfly.hpp"
+#include "topology/hamiltonian.hpp"
+#include "traffic/generator.hpp"
+
+namespace ofar {
+
+/// Optional per-packet event trace (tests, debugging, path analysis).
+struct TraceEvent {
+  enum class Kind : u8 {
+    kInject,   ///< packet placed into an injection FIFO
+    kGrant,    ///< allocator grant: packet starts crossing to out_port
+    kDeliver,  ///< tail phit reached the destination node
+  };
+  Kind kind;
+  PacketId packet;
+  Cycle cycle;
+  RouterId router;
+  PortId out_port = kInvalidPort;  ///< kGrant only
+  VcId out_vc = 0;                 ///< kGrant only
+  MisrouteKind misroute = MisrouteKind::kNone;  ///< kGrant only
+  bool ring_move = false;                       ///< kGrant only
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const SimConfig& cfg);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // ---- simulation control ----
+  void step();
+  void run(u64 cycles);
+  Cycle now() const noexcept { return now_; }
+
+  /// Installs the traffic source (owned).
+  void set_traffic(std::unique_ptr<TrafficSource> source);
+  TrafficSource* traffic() { return traffic_.get(); }
+
+  /// True when no packet is pending, buffered or in flight anywhere.
+  bool drained() const noexcept {
+    return pool_.live_count() == 0 && pending_total_ == 0;
+  }
+
+  // ---- injection API (used by traffic sources) ----
+  /// Queues an offer in the node's unbounded source queue (Bernoulli).
+  void offer(NodeId src, NodeId dst, u16 tag);
+  /// Injects directly if the injection FIFO has room; false otherwise.
+  bool try_inject(NodeId src, NodeId dst, u16 tag);
+
+  // ---- structure accessors ----
+  const SimConfig& config() const noexcept { return cfg_; }
+  const Dragonfly& topo() const noexcept { return topo_; }
+  const HamiltonianRing* ring() const noexcept { return ring_.get(); }
+  Router& router(RouterId r) { return routers_[r]; }
+  const Router& router(RouterId r) const { return routers_[r]; }
+  const Channel& channel(ChannelId c) const { return channels_[c]; }
+  std::size_t num_channels() const noexcept { return channels_.size(); }
+  PacketPool& packets() noexcept { return pool_; }
+  Rng& rng() noexcept { return rng_; }
+  Stats& stats() noexcept { return stats_; }
+  const Stats& stats() const noexcept { return stats_; }
+  RoutingPolicy& policy() noexcept { return *policy_; }
+
+  // ---- per-port structure queries (used by routing policies) ----
+  /// VC range a non-escape packet may use on output port `port`.
+  void base_vc_range(RouterId r, PortId port, u32& first, u32& count) const;
+  /// Escape-ring VC range on the ring output of router r; count == 0 when
+  /// `port` is not the ring output.
+  struct RingOut {
+    PortId port = kInvalidPort;
+    u32 first_vc = 0;
+    u32 num_vcs = 0;
+  };
+  const RingOut& ring_out(RouterId r) const {
+    OFAR_DCHECK(ring_ != nullptr);
+    return ring_out_[r];
+  }
+  /// True when (port, vc) of router r's *input* side belongs to the ring.
+  bool is_ring_input(RouterId r, PortId port, VcId vc) const;
+
+  /// Occupancy fraction of an output port over its base (non-escape) VCs.
+  double base_occupancy(const Router& r, PortId port) const;
+  /// True when `port` can accept a whole packet now on some base VC
+  /// (not busy, wired, credits >= packet size).
+  bool base_available(const Router& r, PortId port) const;
+  /// Best base VC of `port` (most credits, >= packet size); false if none.
+  bool best_base_vc(const Router& r, PortId port, VcId& vc) const;
+
+  /// Number of phits a node's injection FIFOs can still accept.
+  u32 injection_free_phits(NodeId node) const;
+
+  /// Installs a per-packet event tracer (empty function disables). The
+  /// callback runs synchronously inside the cycle loop; keep it light.
+  void set_tracer(std::function<void(const TraceEvent&)> tracer) {
+    tracer_ = std::move(tracer);
+  }
+
+  /// Deep flow-control conservation check: true iff the network is fully
+  /// drained AND every FIFO is empty, every credit counter restored to
+  /// capacity, and no event is in flight. Used by tests after drain.
+  bool check_quiescent() const;
+
+  /// Mid-run credit-conservation audit. For every (channel, VC):
+  ///   upstream credits + downstream stored phits + phits on the wire
+  ///   + credits on the wire + unsent phits of an active transfer
+  /// must equal the downstream buffer capacity. O(network); test-only.
+  bool check_flow_conservation() const;
+
+ private:
+  struct PhitEvent {
+    ChannelId ch;
+    PacketId pkt;
+    VcId vc;
+    u8 head;  // first phit of the packet
+    u8 tail;  // last phit of the packet
+  };
+  struct CreditEvent {
+    ChannelId ch;
+    VcId vc;
+  };
+  struct Offer {
+    NodeId dst;
+    u16 tag;
+    Cycle birth;
+  };
+
+  void build_channels();
+  void build_ring();
+  void size_output_credits();
+
+  void deliver_events();
+  void update_throttle();
+  void advance_transfers();
+  void do_allocation();
+  void do_injection();
+  void run_watchdog();
+
+  /// Creates the packet object for an accepted injection.
+  void place_packet(NodeId src, const Offer& offer);
+  /// Commits one allocator grant: starts the transfer, spends credits,
+  /// updates packet routing state and stats.
+  void commit_grant(Router& r, const AllocRequest& rq);
+  /// Final delivery at the destination node.
+  void deliver_packet(PacketId id);
+
+  void schedule_phit(ChannelId ch, PacketId pkt, VcId vc, bool head,
+                     bool tail, u32 latency);
+  void schedule_credit(ChannelId ch, VcId vc, u32 latency);
+
+  SimConfig cfg_;
+  Dragonfly topo_;
+  std::unique_ptr<HamiltonianRing> ring_;
+  std::vector<Router> routers_;
+  std::vector<Channel> channels_;
+  std::vector<RingOut> ring_out_;          // per router
+  std::vector<PortId> ring_in_port_;       // per router (embedded/physical)
+  std::vector<u32> ring_in_first_vc_;      // per router
+  std::vector<u32> ring_in_num_vcs_;       // per router
+  PacketPool pool_;
+  Rng rng_;
+  Stats stats_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  std::unique_ptr<TrafficSource> traffic_;
+  std::function<void(const TraceEvent&)> tracer_;
+
+  std::vector<std::deque<Offer>> pending_;  // per node source queues
+  u64 pending_total_ = 0;
+
+  // Event wheels indexed by cycle % wheel size.
+  std::vector<std::vector<PhitEvent>> phit_wheel_;
+  std::vector<std::vector<CreditEvent>> credit_wheel_;
+  u32 wheel_size_ = 0;
+
+  Cycle now_ = 0;
+
+  // Scratch buffers reused across cycles.
+  std::unique_ptr<SeparableAllocator> alloc_;
+  std::vector<AllocRequest> reqs_scratch_;
+};
+
+}  // namespace ofar

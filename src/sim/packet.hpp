@@ -1,0 +1,54 @@
+// Packet model.
+//
+// The simulator is phit-accurate but allocates at packet granularity
+// (virtual cut-through with a batch allocator, paper §V). A Packet carries
+// the routing state the mechanisms need: hop counters for the hop-ordered VC
+// discipline, the Valiant intermediate destination for VAL/PB/UGAL, and the
+// OFAR misroute header flags + escape-ring state (paper §IV-A).
+#pragma once
+
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace ofar {
+
+inline constexpr GroupId kInvalidGroup = std::numeric_limits<GroupId>::max();
+inline constexpr RouterId kInvalidRouter = std::numeric_limits<RouterId>::max();
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  RouterId dst_router = 0;
+  u16 size = 0;          ///< phits
+  u16 pattern_tag = 0;   ///< which traffic component generated it (stats)
+  Cycle birth = 0;       ///< generation cycle (latency baseline, paper §VI-B)
+  Cycle last_progress = 0;  ///< last grant cycle (deadlock watchdog)
+
+  // ---- hop bookkeeping (drives the ordered-VC discipline) ----
+  u8 local_hops = 0;
+  u8 global_hops = 0;
+  u8 total_hops = 0;
+  /// Local hops taken since entering the current group; resets on every
+  /// global hop. The ordered-VC level of a local hop is
+  /// global_hops + local_hops_in_group, which is strictly ascending along
+  /// any l-g-l-g-l (or intra-group l-l) path — the property that makes the
+  /// VC-ordered mechanisms deadlock-free.
+  u8 local_hops_in_group = 0;
+
+  // ---- Valiant state (VAL / PB / UGAL) ----
+  GroupId inter_group = kInvalidGroup;    ///< intermediate group, or invalid
+  RouterId inter_router = kInvalidRouter; ///< intra-group Valiant target
+  bool valiant_done = true;               ///< phase 1 (to intermediate) done
+
+  // ---- OFAR misroute header flags (paper §IV-A) ----
+  bool global_misrouted = false;  ///< the one global misroute was spent
+  bool local_misrouted = false;   ///< local misroute spent in `flag_group`
+  GroupId flag_group = kInvalidGroup;  ///< group `local_misrouted` refers to
+
+  // ---- escape-ring state (paper §IV-C) ----
+  bool in_ring = false;
+  u8 ring_exits = 0;  ///< times the packet abandoned the ring (livelock cap)
+};
+
+}  // namespace ofar

@@ -1,0 +1,3 @@
+// PacketPool is header-only (hot path); this TU anchors the module in the
+// build so include hygiene of packet_pool.hpp is always compile-checked.
+#include "sim/packet_pool.hpp"

@@ -1,0 +1,2 @@
+// Router is state + inline queries; this TU compile-checks the header.
+#include "sim/router.hpp"

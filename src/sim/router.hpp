@@ -1,0 +1,106 @@
+// Input-buffered virtual cut-through router state (paper §V).
+//
+// Each router has one input unit (per-VC FIFOs) and one output unit
+// (downstream credit counters + at most one active packet transfer) per
+// port, plus the LRS arbiter state of its separable allocator. All per-cycle
+// orchestration lives in Network; Router is state + small queries.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/arbiter.hpp"
+#include "sim/fifo.hpp"
+
+namespace ofar {
+
+struct OutputPort {
+  ChannelId channel = kInvalidChannel;  ///< invalid on unwired global ports
+  std::vector<u32> credits;             ///< per downstream VC, phits free
+  std::vector<u32> credit_cap;          ///< per downstream VC, buffer size
+
+  // Active batch transfer (whole packet streams at 1 phit/cycle).
+  PacketId active = kInvalidPacket;
+  VcId active_vc = 0;
+  PortId src_port = 0;
+  VcId src_vc = 0;
+  u32 phits_left = 0;
+
+  bool wired() const noexcept { return channel != kInvalidChannel; }
+  bool busy() const noexcept { return active != kInvalidPacket; }
+
+  /// VC in [first, first+count) with the most credits, provided it has at
+  /// least `need`; returns count (i.e. one-past) sentinel mapped to
+  /// kInvalidVc via the bool. Returns false when no VC qualifies.
+  bool best_vc(u32 first, u32 count, u32 need, VcId& out) const noexcept {
+    u32 best = 0;
+    bool found = false;
+    for (u32 v = first; v < first + count; ++v) {
+      OFAR_DCHECK(v < credits.size());
+      if (credits[v] >= need && (!found || credits[v] > best)) {
+        best = credits[v];
+        out = static_cast<VcId>(v);
+        found = true;
+      }
+    }
+    return found;
+  }
+
+  /// Occupancy fraction (1 - free/capacity) over VCs [first, first+count):
+  /// the congestion measure OFAR and PB thresholds operate on (paper §IV-B).
+  double occupancy(u32 first, u32 count) const noexcept {
+    u64 free = 0, cap = 0;
+    for (u32 v = first; v < first + count; ++v) {
+      free += credits[v];
+      cap += credit_cap[v];
+    }
+    if (cap == 0) return 1.0;
+    return 1.0 - static_cast<double>(free) / static_cast<double>(cap);
+  }
+
+  /// Total phits queued downstream (capacity - credits) over a VC range.
+  u32 queued_phits(u32 first, u32 count) const noexcept {
+    u32 q = 0;
+    for (u32 v = first; v < first + count; ++v)
+      q += credit_cap[v] - credits[v];
+    return q;
+  }
+};
+
+struct InputPort {
+  ChannelId in_channel = kInvalidChannel;  ///< invalid for injection ports
+  std::vector<VcFifo> vcs;
+  std::vector<u8> head_busy;  ///< per VC: head packet is mid-transfer
+
+  bool has_head(VcId v) const noexcept {
+    return !vcs[v].empty() && head_busy[v] == 0 && vcs[v].head_arrived() > 0;
+  }
+};
+
+struct Router {
+  RouterId id = 0;
+  std::vector<InputPort> inputs;
+  std::vector<OutputPort> outputs;
+
+  // Fast-path skip state maintained by Network: packets buffered in any
+  // input FIFO of this router; per-input-port bitmask of non-empty VCs
+  // (contiguous, so the allocation scan stays in one cache line per router);
+  // bitmask of output ports with an active transfer.
+  u32 buffered_packets = 0;
+  u32 buffered_phits = 0;
+  u32 active_transfers = 0;
+  u32 buffer_capacity_phits = 0;  ///< sum of all input-VC capacities
+  bool throttled = false;         ///< congestion-throttle latch (hysteresis)
+  std::vector<u8> input_mask;  // [port] -> bit v set iff vcs[v] non-empty
+  u64 active_out_mask = 0;
+
+  // Allocator state: one VC-level arbiter per input port, one input-level
+  // arbiter per output port.
+  std::vector<LrsArbiter> input_arb;   // candidates = VC indices
+  std::vector<LrsArbiter> output_arb;  // candidates = input port indices
+
+  u32 num_ports() const noexcept { return static_cast<u32>(inputs.size()); }
+};
+
+}  // namespace ofar

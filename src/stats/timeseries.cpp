@@ -1,0 +1,2 @@
+// TimeSeries is header-only; this TU compile-checks the header.
+#include "stats/timeseries.hpp"

@@ -1,0 +1,185 @@
+// Canonical dragonfly topology (Kim et al., ISCA'08) with the *consecutive*
+// ("absolute") global wiring arrangement the paper assumes in §III.
+//
+// Parameters follow the paper: h global links per router, p = h nodes per
+// router, a = 2h routers per group, and at most a*h + 1 groups. Groups are
+// complete graphs of local links; each pair of groups is joined by exactly
+// one global link.
+//
+// Global wiring: group g owns a*h outgoing global "slots". Slot d of group g
+// connects to group (g + d + 1) mod G and is carried on router floor(d/h),
+// global port d mod h. The matching slot on the far side is G - 2 - d. This
+// consecutive arrangement is what makes ADV+h pathological: the h links
+// entering a transit group from one source group all land on one router,
+// while the h links toward the destination group all leave from the next
+// router, funnelling all misrouted traffic through a single local link.
+#pragma once
+
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ofar {
+
+/// Classification of a router port (same layout on input and output sides).
+enum class PortClass : u8 {
+  kNode,    ///< to/from a processing node (injection on input, ejection out)
+  kLocal,   ///< intra-group link
+  kGlobal,  ///< inter-group link
+  kRing,    ///< dedicated physical escape-ring port
+};
+
+const char* to_string(PortClass c) noexcept;
+
+class Dragonfly {
+ public:
+  /// Builds a dragonfly with the given h. `groups == 0` selects the maximum
+  /// size (a*h + 1 groups); smaller values trim the group count (useful for
+  /// tests), leaving high global slots unwired.
+  /// `physical_ring` reserves one extra ring port per router.
+  Dragonfly(u32 h, u32 groups = 0, bool physical_ring = false);
+
+  // ---- sizes ----
+  u32 h() const noexcept { return h_; }
+  u32 p() const noexcept { return h_; }
+  u32 a() const noexcept { return 2 * h_; }
+  u32 groups() const noexcept { return groups_; }
+  u32 routers() const noexcept { return groups_ * a(); }
+  u32 nodes() const noexcept { return routers() * p(); }
+  u32 max_groups() const noexcept { return a() * h_ + 1; }
+  bool has_ring_port() const noexcept { return physical_ring_; }
+
+  /// Ports per router: p node + (a-1) local + h global (+1 physical ring).
+  u32 ports_per_router() const noexcept {
+    return p() + (a() - 1) + h_ + (physical_ring_ ? 1u : 0u);
+  }
+
+  // ---- coordinates ----
+  GroupId group_of(RouterId r) const noexcept { return r / a(); }
+  u32 local_of(RouterId r) const noexcept { return r % a(); }
+  RouterId router_at(GroupId g, u32 local) const noexcept {
+    OFAR_DCHECK(g < groups_ && local < a());
+    return g * a() + local;
+  }
+  RouterId router_of_node(NodeId n) const noexcept { return n / p(); }
+  u32 node_slot(NodeId n) const noexcept { return n % p(); }
+  NodeId node_at(RouterId r, u32 slot) const noexcept {
+    OFAR_DCHECK(slot < p());
+    return r * p() + slot;
+  }
+  GroupId group_of_node(NodeId n) const noexcept {
+    return group_of(router_of_node(n));
+  }
+
+  // ---- port layout ----
+  PortId node_port(u32 slot) const noexcept {
+    OFAR_DCHECK(slot < p());
+    return static_cast<PortId>(slot);
+  }
+  PortId first_local_port() const noexcept {
+    return static_cast<PortId>(p());
+  }
+  PortId first_global_port() const noexcept {
+    return static_cast<PortId>(p() + a() - 1);
+  }
+  PortId ring_port() const noexcept {
+    OFAR_DCHECK(physical_ring_);
+    return static_cast<PortId>(p() + a() - 1 + h_);
+  }
+  PortClass port_class(PortId port) const noexcept;
+
+  /// Local port on `from_local` leading to `to_local` (same group).
+  PortId local_port(u32 from_local, u32 to_local) const noexcept {
+    OFAR_DCHECK(from_local != to_local && from_local < a() && to_local < a());
+    const u32 k = to_local < from_local ? to_local : to_local - 1;
+    return static_cast<PortId>(p() + k);
+  }
+  /// Peer local index reached through local port `port` from `from_local`.
+  u32 local_peer(u32 from_local, PortId port) const noexcept {
+    const u32 k = static_cast<u32>(port) - p();
+    OFAR_DCHECK(k < a() - 1);
+    return k < from_local ? k : k + 1;
+  }
+
+  // ---- global wiring ----
+  /// Outgoing slot of group `from` toward group `to` (d in [0, groups-2]).
+  u32 global_slot(GroupId from, GroupId to) const noexcept {
+    OFAR_DCHECK(from != to && from < groups_ && to < groups_);
+    return (to + groups_ - from - 1) % groups_;
+  }
+  /// Local index of the router carrying global slot d.
+  u32 slot_carrier(u32 slot) const noexcept {
+    OFAR_DCHECK(slot < a() * h_);
+    return slot / h_;
+  }
+  /// Global port index (within the router) carrying slot d.
+  PortId slot_port(u32 slot) const noexcept {
+    return static_cast<PortId>(first_global_port() + slot % h_);
+  }
+  /// Slot carried by global port `port` of a router with local index `local`.
+  u32 port_slot(u32 local, PortId port) const noexcept {
+    const u32 j = static_cast<u32>(port) - first_global_port();
+    OFAR_DCHECK(j < h_);
+    return local * h_ + j;
+  }
+  /// True when slot d of any group is wired (only trimmed topologies
+  /// leave slots unwired).
+  bool slot_wired(u32 slot) const noexcept { return slot < groups_ - 1; }
+  /// Destination group of slot d from group `from`.
+  GroupId slot_target(GroupId from, u32 slot) const noexcept {
+    OFAR_DCHECK(slot_wired(slot));
+    return (from + slot + 1) % groups_;
+  }
+  /// The far side of slot d is slot (groups-2-d) of the target group.
+  u32 peer_slot(u32 slot) const noexcept {
+    OFAR_DCHECK(slot_wired(slot));
+    return groups_ - 2 - slot;
+  }
+
+  /// Router of group `from` that carries the single global link to `to`.
+  RouterId carrier_router(GroupId from, GroupId to) const noexcept {
+    return router_at(from, slot_carrier(global_slot(from, to)));
+  }
+  /// The global port on `carrier_router(from,to)` leading to group `to`.
+  PortId carrier_port(GroupId from, GroupId to) const noexcept {
+    return slot_port(global_slot(from, to));
+  }
+
+  /// Router + port reached by leaving router r through global port `port`.
+  struct GlobalEndpoint {
+    RouterId router;
+    PortId port;
+  };
+  GlobalEndpoint global_peer(RouterId r, PortId port) const noexcept {
+    const GroupId g = group_of(r);
+    const u32 d = port_slot(local_of(r), port);
+    OFAR_DCHECK(slot_wired(d));
+    const GroupId tg = slot_target(g, d);
+    const u32 back = peer_slot(d);
+    return {router_at(tg, slot_carrier(back)), slot_port(back)};
+  }
+  /// True when router r's global port `port` is wired (trimmed topologies).
+  bool global_port_wired(RouterId r, PortId port) const noexcept {
+    return slot_wired(port_slot(local_of(r), port));
+  }
+
+  // ---- routing helpers ----
+  /// Next port on the minimal path from router `cur` toward router `dst`
+  /// (which must differ from `cur`): local hop to the destination router if
+  /// same group, else toward/through the global link to the target group.
+  PortId min_next_port(RouterId cur, RouterId dst) const noexcept;
+
+  /// Number of router-to-router hops on the minimal path (0..3).
+  u32 min_hops(RouterId from, RouterId to) const noexcept;
+
+  /// Human-readable description (for logs and error messages).
+  std::string describe() const;
+
+ private:
+  u32 h_;
+  u32 groups_;
+  bool physical_ring_;
+};
+
+}  // namespace ofar

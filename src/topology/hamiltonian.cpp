@@ -1,0 +1,144 @@
+#include "topology/hamiltonian.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace ofar {
+
+namespace {
+
+u32 gcd_u32(u32 x, u32 y) noexcept { return std::gcd(x, y); }
+
+struct CarrierPair {
+  u32 in;   // local index where the ring enters each group
+  u32 out;  // local index where the ring leaves each group
+};
+
+CarrierPair carriers(const Dragonfly& topo, u32 stride) {
+  const u32 groups = topo.groups();
+  const u32 slot_out = stride - 1;                 // toward group g + stride
+  const u32 slot_in = groups - 1 - stride;         // far side of that slot
+  return {topo.slot_carrier(slot_in), topo.slot_carrier(slot_out)};
+}
+
+}  // namespace
+
+bool HamiltonianRing::constructible(const Dragonfly& topo,
+                                    u32 stride) noexcept {
+  const u32 groups = topo.groups();
+  if (stride == 0 || stride >= groups) return false;
+  if (gcd_u32(stride, groups) != 1) return false;
+  // The outgoing slot must be wired on this (possibly trimmed) topology.
+  if (!topo.slot_wired(stride - 1)) return false;
+  const auto c = carriers(topo, stride);
+  // A Hamiltonian path inside a group needs distinct endpoints (a >= 2).
+  return c.in != c.out;
+}
+
+HamiltonianRing::HamiltonianRing(const Dragonfly& topo, u32 stride,
+                                 u32 variant)
+    : stride_(stride), variant_(variant) {
+  OFAR_CHECK_MSG(constructible(topo, stride),
+                 "no Hamiltonian ring with this stride on this topology "
+                 "(need gcd(stride, groups) == 1 and distinct enter/exit "
+                 "carriers; stride 1 requires groups > h + 1)");
+  const u32 groups = topo.groups();
+  const u32 a = topo.a();
+  const auto c = carriers(topo, stride);
+
+  // Hamiltonian path of local indices inside every group: enter carrier
+  // first, exit carrier last. The middle section is a stride-dependent
+  // permutation of the remaining routers, so rings built with different
+  // strides use (mostly) different local edges — the ingredient of the
+  // paper's §VII multi-ring reliability scheme. The permutation walks the
+  // middle set with a step coprime to its size, seeded by the stride.
+  std::vector<u32> middle;
+  middle.reserve(a - 2);
+  for (u32 l = 0; l < a; ++l)
+    if (l != c.in && l != c.out) middle.push_back(l);
+  std::vector<u32> group_path;
+  group_path.reserve(a);
+  group_path.push_back(c.in);
+  if (!middle.empty()) {
+    const u32 m = static_cast<u32>(middle.size());
+    u32 step = 1 + (stride - 1 + variant) % m;
+    while (std::gcd(step, m) != 1) ++step;
+    u32 idx = (stride - 1 + variant * 3) % m;
+    for (u32 i = 0; i < m; ++i) {
+      group_path.push_back(middle[idx]);
+      idx = (idx + step) % m;
+    }
+  }
+  group_path.push_back(c.out);
+
+  order_.reserve(topo.routers());
+  crosses_.reserve(topo.routers());
+  out_port_.reserve(topo.routers());
+  GroupId g = 0;
+  for (u32 step = 0; step < groups; ++step) {
+    for (u32 i = 0; i < a; ++i) {
+      const RouterId r = topo.router_at(g, group_path[i]);
+      order_.push_back(r);
+      if (i + 1 < a) {
+        crosses_.push_back(false);
+        out_port_.push_back(topo.local_port(group_path[i], group_path[i + 1]));
+      } else {
+        crosses_.push_back(true);
+        out_port_.push_back(topo.slot_port(stride - 1));
+      }
+    }
+    g = (g + stride) % groups;
+  }
+
+  position_.assign(topo.routers(), kInvalidIndex);
+  for (u32 pos = 0; pos < order_.size(); ++pos) position_[order_[pos]] = pos;
+  for (const u32 pos : position_) OFAR_CHECK(pos != kInvalidIndex);
+}
+
+bool HamiltonianRing::validate(const Dragonfly& topo) const {
+  if (order_.size() != topo.routers()) return false;
+  std::vector<bool> seen(topo.routers(), false);
+  for (const RouterId r : order_) {
+    if (r >= topo.routers() || seen[r]) return false;
+    seen[r] = true;
+  }
+  for (u32 pos = 0; pos < order_.size(); ++pos) {
+    const RouterId from = order_[pos];
+    const RouterId to = order_[(pos + 1) % order_.size()];
+    if (crosses_[pos]) {
+      if (topo.group_of(from) == topo.group_of(to)) return false;
+      if (!topo.global_port_wired(from, out_port_[pos])) return false;
+      if (topo.global_peer(from, out_port_[pos]).router != to) return false;
+    } else {
+      if (topo.group_of(from) != topo.group_of(to)) return false;
+      if (topo.local_peer(topo.local_of(from), out_port_[pos]) !=
+          topo.local_of(to))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool HamiltonianRing::edge_disjoint(const Dragonfly& topo,
+                                    const HamiltonianRing& lhs,
+                                    const HamiltonianRing& rhs) {
+  auto edges = [&topo](const HamiltonianRing& ring) {
+    std::set<std::pair<RouterId, RouterId>> out;
+    for (u32 pos = 0; pos < ring.order_.size(); ++pos) {
+      RouterId u = ring.order_[pos];
+      RouterId v = ring.order_[(pos + 1) % ring.order_.size()];
+      if (u > v) std::swap(u, v);
+      out.emplace(u, v);
+    }
+    return out;
+  };
+  const auto le = edges(lhs);
+  for (const auto& e : edges(rhs))
+    if (le.count(e) != 0) return false;
+  return true;
+}
+
+}  // namespace ofar

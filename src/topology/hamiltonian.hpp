@@ -1,0 +1,92 @@
+// Hamiltonian ring over all routers of a dragonfly — the escape subnetwork
+// substrate (paper §IV-C).
+//
+// Construction: the ring visits groups in cyclic order with a configurable
+// stride s (gcd(s, groups) == 1; stride 1 is the paper's ring). Moving from
+// group g to group g+s uses that pair's unique global link, which is carried
+// by a fixed router on each side; inside each group the ring walks a
+// Hamiltonian path from the entering carrier to the exiting carrier over the
+// complete local graph. Strides > 1 allow several rings using distinct
+// global links (paper §VII reliability discussion).
+//
+// The same router order serves both ring implementations:
+//  - physical: dedicated ring wires between consecutive routers (latency
+//    matching local/global distance), one extra port per router;
+//  - embedded: an extra escape VC on exactly the canonical channels the
+//    ring traverses (no new wires).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/dragonfly.hpp"
+
+namespace ofar {
+
+class HamiltonianRing {
+ public:
+  /// Builds the ring. For an embedded ring the entering and exiting carriers
+  /// inside each group must differ, which requires groups > h + 1 when
+  /// stride == 1 (always true at full size). Construction aborts otherwise.
+  /// `variant` selects among different intra-group walks for the same
+  /// stride (used when hunting for edge-disjoint ring sets, paper §VII).
+  explicit HamiltonianRing(const Dragonfly& topo, u32 stride = 1,
+                           u32 variant = 0);
+
+  /// True when a ring with this stride can be built on `topo`.
+  static bool constructible(const Dragonfly& topo, u32 stride = 1) noexcept;
+
+  u32 stride() const noexcept { return stride_; }
+  u32 variant() const noexcept { return variant_; }
+
+  /// Routers in ring order; position 0 is router a-1 of group 0.
+  const std::vector<RouterId>& order() const noexcept { return order_; }
+
+  /// Position of router r in the ring, in [0, routers).
+  u32 position(RouterId r) const noexcept { return position_[r]; }
+
+  RouterId successor(RouterId r) const noexcept {
+    const u32 pos = position_[r];
+    return order_[pos + 1 == order_.size() ? 0 : pos + 1];
+  }
+  RouterId predecessor(RouterId r) const noexcept {
+    const u32 pos = position_[r];
+    return order_[pos == 0 ? order_.size() - 1 : pos - 1];
+  }
+
+  /// True when the step r -> successor(r) crosses groups (global distance).
+  bool step_crosses_group(RouterId r) const noexcept {
+    return crosses_[position_[r]];
+  }
+
+  /// Canonical output port of r that carries the embedded ring step
+  /// r -> successor(r) (a local or global port of the base topology).
+  PortId embedded_out_port(RouterId r) const noexcept {
+    return out_port_[position_[r]];
+  }
+
+  /// Number of hops along the ring from r to the router owning node `dst`
+  /// ... i.e., forward ring distance between two routers.
+  u32 ring_distance(RouterId from, RouterId to) const noexcept {
+    const u32 n = static_cast<u32>(order_.size());
+    return (position_[to] + n - position_[from]) % n;
+  }
+
+  /// Verifies this is a Hamiltonian cycle of the base topology: every router
+  /// exactly once, every step a real local/global link.
+  bool validate(const Dragonfly& topo) const;
+
+  /// True when `lhs` and `rhs` share no (undirected) base-topology edge.
+  static bool edge_disjoint(const Dragonfly& topo, const HamiltonianRing& lhs,
+                            const HamiltonianRing& rhs);
+
+ private:
+  u32 stride_;
+  u32 variant_;
+  std::vector<RouterId> order_;
+  std::vector<u32> position_;   // router id -> ring position
+  std::vector<bool> crosses_;   // per position: step crosses groups
+  std::vector<PortId> out_port_;  // per position: canonical out port
+};
+
+}  // namespace ofar

@@ -1,0 +1,73 @@
+#include "traffic/generator.hpp"
+
+#include "common/check.hpp"
+#include "sim/network.hpp"
+
+namespace ofar {
+
+BernoulliSource::BernoulliSource(TrafficPattern pattern, double load_phits,
+                                 u64 seed)
+    : pattern_(std::move(pattern)), load_(load_phits),
+      rng_(seed ^ 0x5452414646494353ULL) {}
+
+void BernoulliSource::tick(Network& net) {
+  const double p = load_ / net.config().packet_size;
+  const u32 nodes = net.topo().nodes();
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (!rng_.chance(p)) continue;
+    u16 tag;
+    const NodeId dst = pattern_.pick(n, net.topo(), rng_, tag);
+    net.offer(n, dst, tag);
+  }
+}
+
+PhasedSource::PhasedSource(std::vector<Phase> phases, u64 seed)
+    : phases_(std::move(phases)), rng_(seed ^ 0x504841534544ULL) {
+  OFAR_CHECK(!phases_.empty());
+}
+
+void PhasedSource::tick(Network& net) {
+  const Cycle now = net.now();
+  const Phase* active = nullptr;
+  for (const Phase& ph : phases_) {
+    if (ph.until == 0 || now < ph.until) {
+      active = &ph;
+      break;
+    }
+  }
+  if (active == nullptr) return;  // schedule exhausted
+  const double p = active->load_phits / net.config().packet_size;
+  const u32 nodes = net.topo().nodes();
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (!rng_.chance(p)) continue;
+    u16 tag;
+    const NodeId dst = active->pattern.pick(n, net.topo(), rng_, tag);
+    net.offer(n, dst, static_cast<u16>(tag + active->tag_base));
+  }
+}
+
+BurstSource::BurstSource(TrafficPattern pattern, u32 packets_per_node,
+                         u64 seed)
+    : pattern_(std::move(pattern)), packets_per_node_(packets_per_node),
+      rng_(seed ^ 0x4255525354ULL) {}
+
+void BurstSource::tick(Network& net) {
+  if (remaining_.empty()) {
+    remaining_.assign(net.topo().nodes(), packets_per_node_);
+    remaining_total_ =
+        static_cast<u64>(net.topo().nodes()) * packets_per_node_;
+  }
+  if (remaining_total_ == 0) return;
+  const u32 nodes = net.topo().nodes();
+  for (NodeId n = 0; n < nodes; ++n) {
+    while (remaining_[n] > 0) {
+      u16 tag;
+      const NodeId dst = pattern_.pick(n, net.topo(), rng_, tag);
+      if (!net.try_inject(n, dst, tag)) break;
+      --remaining_[n];
+      --remaining_total_;
+    }
+  }
+}
+
+}  // namespace ofar

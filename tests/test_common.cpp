@@ -1,0 +1,249 @@
+// Unit tests for src/common: RNG determinism and distribution sanity, CLI
+// parsing, table formatting/CSV, config validation, parallel runner.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/config.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace ofar {
+namespace {
+
+// ---------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (u32 bound : {1u, 2u, 3u, 17u, 1000u}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng r(11);
+  std::set<u32> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(r.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(5);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 5000; ++i) {
+    const u32 v = r.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    lo_hit |= v == 3;
+    hi_hit |= v == 6;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(123);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, UniformWithinUnitInterval) {
+  Rng r(77);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------- cli ----
+
+TEST(CommandLine, ParsesSeparateAndEqualsForms) {
+  const char* argv[] = {"prog", "positional", "--alpha", "3", "--beta=0.5",
+                        "--flag"};
+  CommandLine cli(6, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 0.5);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(CommandLine, GreedyValueConsumption) {
+  // A non-"--" token after a key is consumed as its value; bare flags must
+  // therefore come last or use the --flag=true form (documented grammar).
+  const char* argv[] = {"prog", "--flag", "tail"};
+  CommandLine cli(3, argv);
+  EXPECT_EQ(cli.get_string("flag", ""), "tail");
+  EXPECT_TRUE(cli.positional().empty());
+}
+
+TEST(CommandLine, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CommandLine cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", -7), -7);
+  EXPECT_EQ(cli.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(CommandLine, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--used", "1", "--typo", "2"};
+  CommandLine cli(5, argv);
+  (void)cli.get_int("used", 0);
+  const auto unused = cli.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CommandLine, BoolParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=no"};
+  CommandLine cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, FormatsCellsAndWritesCsv) {
+  Table t({"name", "value", "count"});
+  t.add_row({std::string("row1"), 1.5, u64{42}});
+  t.add_row({std::string("row2"), 0.25, u64{7}});
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  const std::string path = "/tmp/ofar_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value,count");
+  std::getline(in, line);
+  EXPECT_EQ(line, "row1,1.5,42");
+  std::remove(path.c_str());
+}
+
+TEST(Table, FormatVariants) {
+  EXPECT_EQ(Table::format(Table::Cell{std::string("x")}), "x");
+  EXPECT_EQ(Table::format(Table::Cell{i64{-3}}), "-3");
+  EXPECT_EQ(Table::format(Table::Cell{u64{12}}), "12");
+  EXPECT_EQ(Table::format(Table::Cell{2.0}), "2");
+}
+
+// ------------------------------------------------------------- config ----
+
+TEST(SimConfig, DefaultsValidate) {
+  SimConfig cfg;
+  EXPECT_EQ(cfg.validate(), "");
+  EXPECT_EQ(cfg.p(), cfg.h);
+  EXPECT_EQ(cfg.a(), 2 * cfg.h);
+  EXPECT_EQ(cfg.num_groups(), cfg.a() * cfg.h + 1);
+}
+
+TEST(SimConfig, PaperScaleNumbersMatch) {
+  // §V: h=6 -> 73 groups of 12 routers = 876 routers, 5256 nodes.
+  SimConfig cfg;
+  cfg.h = 6;
+  EXPECT_EQ(cfg.num_groups(), 73u);
+  EXPECT_EQ(cfg.num_groups() * cfg.a(), 876u);
+  EXPECT_EQ(cfg.num_groups() * cfg.a() * cfg.p(), 5256u);
+}
+
+TEST(SimConfig, RejectsTooSmallFifos) {
+  SimConfig cfg;
+  cfg.fifo_local = 4;  // smaller than the 8-phit packet
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(SimConfig, OfarRequiresEscapeRing) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = RingKind::kNone;
+  EXPECT_NE(cfg.validate(), "");
+}
+
+TEST(SimConfig, OrderedMechanismsNeedEnoughVcs) {
+  SimConfig cfg;
+  cfg.routing = RoutingKind::kVal;
+  cfg.ring = RingKind::kNone;
+  cfg.vcs_local = 2;  // VAL needs 3
+  EXPECT_NE(cfg.validate(), "");
+  cfg.routing = RoutingKind::kMin;  // MIN only needs 2
+  EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(SimConfig, RoutingKindRoundTrip) {
+  for (RoutingKind k :
+       {RoutingKind::kMin, RoutingKind::kVal, RoutingKind::kPb,
+        RoutingKind::kUgal, RoutingKind::kOfar, RoutingKind::kOfarL}) {
+    RoutingKind parsed;
+    ASSERT_TRUE(parse_routing_kind(to_string(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  RoutingKind dummy;
+  EXPECT_FALSE(parse_routing_kind("bogus", dummy));
+}
+
+TEST(SimConfig, RingKindRoundTrip) {
+  for (RingKind k :
+       {RingKind::kNone, RingKind::kPhysical, RingKind::kEmbedded}) {
+    RingKind parsed;
+    ASSERT_TRUE(parse_ring_kind(to_string(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+}
+
+// ----------------------------------------------------------- parallel ----
+
+TEST(Parallel, RunsEveryJobExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 64; ++i)
+    jobs.emplace_back([&hits, i] { hits[i].fetch_add(1); });
+  run_parallel(jobs, 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ParallelForCoversRange) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(100, [&](std::size_t i) { sum += i; }, 3);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(Parallel, SequentialFallback) {
+  int counter = 0;
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 5; ++i) jobs.emplace_back([&counter] { ++counter; });
+  run_parallel(jobs, 1);
+  EXPECT_EQ(counter, 5);
+}
+
+}  // namespace
+}  // namespace ofar

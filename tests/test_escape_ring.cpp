@@ -1,0 +1,173 @@
+// Unit tests of the escape-subnetwork discipline (paper §IV-C) against a
+// real network with hand-crafted router state: the bubble condition
+// (entry needs TWO packets of space, riding needs one), last-resort entry,
+// opportunistic exit, the exit budget (livelock guard), and delivery from
+// the ring at the destination router.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/escape_ring.hpp"
+#include "sim/network.hpp"
+#include "traffic/generator.hpp"
+
+namespace ofar {
+namespace {
+
+SimConfig ring_cfg(RingKind ring = RingKind::kPhysical) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = ring;
+  cfg.seed = 9;
+  return cfg;
+}
+
+/// Sets every escape-VC credit of r's ring output to `value`.
+void set_ring_credits(Network& net, RouterId r, u32 value) {
+  const Network::RingOut& ro = net.ring_out(r);
+  OutputPort& out = net.router(r).outputs[ro.port];
+  for (u32 v = ro.first_vc; v < ro.first_vc + ro.num_vcs; ++v)
+    out.credits[v] = value;
+}
+
+TEST(EscapeRing, EntryNeedsBubble) {
+  Network net(ring_cfg());
+  EscapeRingControl control(net.config());
+  const RouterId at = 5;
+  const u32 size = net.config().packet_size;
+
+  set_ring_credits(net, at, 2 * size);  // exactly packet + bubble
+  EXPECT_TRUE(control.enter(net, at).valid);
+  EXPECT_TRUE(control.enter(net, at).enter_ring);
+
+  set_ring_credits(net, at, 2 * size - 1);  // one phit short of the bubble
+  EXPECT_FALSE(control.enter(net, at).valid);
+}
+
+TEST(EscapeRing, RidingNeedsOnlyOnePacket) {
+  Network net(ring_cfg());
+  EscapeRingControl control(net.config());
+  const u32 size = net.config().packet_size;
+  const RouterId at = 5;
+
+  Packet pkt;
+  pkt.in_ring = true;
+  pkt.ring_exits = 255;  // exits exhausted: must keep riding
+  pkt.dst = net.topo().node_at(net.topo().router_at(3, 1), 0);
+  pkt.dst_router = net.topo().router_at(3, 1);
+  ASSERT_NE(at, pkt.dst_router);
+
+  set_ring_credits(net, at, size);  // plain VCT admission suffices in-ring
+  const RouteChoice ride = control.ride(net, at, pkt);
+  ASSERT_TRUE(ride.valid);
+  EXPECT_EQ(ride.out_port, net.ring_out(at).port);
+  EXPECT_FALSE(ride.exit_ring);
+
+  set_ring_credits(net, at, size - 1);
+  EXPECT_FALSE(control.ride(net, at, pkt).valid);  // wait in place
+}
+
+TEST(EscapeRing, ExitsToFreeMinimalPathWithinBudget) {
+  Network net(ring_cfg());
+  EscapeRingControl control(net.config());
+  const RouterId at = 5;
+  Packet pkt;
+  pkt.in_ring = true;
+  pkt.ring_exits = 0;
+  pkt.dst = net.topo().node_at(net.topo().router_at(3, 1), 0);
+  pkt.dst_router = net.topo().router_at(3, 1);
+
+  // Fresh network: the minimal output is free, so the packet abandons the
+  // ring immediately ("as soon as a minimal route is available", §IV-C).
+  const RouteChoice exit = control.ride(net, at, pkt);
+  ASSERT_TRUE(exit.valid);
+  EXPECT_TRUE(exit.exit_ring);
+  EXPECT_EQ(exit.out_port, min_port_to_router(net, at, pkt.dst_router));
+}
+
+TEST(EscapeRing, ExitBudgetForcesRiding) {
+  Network net(ring_cfg());
+  EscapeRingControl control(net.config());
+  const RouterId at = 5;
+  Packet pkt;
+  pkt.in_ring = true;
+  pkt.ring_exits = net.config().max_ring_exits;  // budget exhausted
+  pkt.dst = net.topo().node_at(net.topo().router_at(3, 1), 0);
+  pkt.dst_router = net.topo().router_at(3, 1);
+
+  const RouteChoice choice = control.ride(net, at, pkt);
+  ASSERT_TRUE(choice.valid);
+  EXPECT_FALSE(choice.exit_ring);  // min is free but the budget is spent
+  EXPECT_EQ(choice.out_port, net.ring_out(at).port);
+}
+
+TEST(EscapeRing, EjectsAtDestinationEvenWithSpentBudget) {
+  Network net(ring_cfg());
+  EscapeRingControl control(net.config());
+  Packet pkt;
+  pkt.in_ring = true;
+  pkt.ring_exits = 255;
+  pkt.dst = net.topo().node_at(7, 1);
+  pkt.dst_router = 7;
+
+  const RouteChoice choice = control.ride(net, 7, pkt);
+  ASSERT_TRUE(choice.valid);
+  EXPECT_TRUE(choice.exit_ring);
+  EXPECT_EQ(net.topo().port_class(choice.out_port), PortClass::kNode);
+}
+
+TEST(EscapeRing, BusyRingOutputBlocksEntry) {
+  Network net(ring_cfg());
+  EscapeRingControl control(net.config());
+  const RouterId at = 5;
+  OutputPort& out = net.router(at).outputs[net.ring_out(at).port];
+  out.active = 1;  // mark busy
+  EXPECT_FALSE(control.enter(net, at).valid);
+}
+
+class RingVariantTest : public ::testing::TestWithParam<RingKind> {};
+
+TEST_P(RingVariantTest, RingOutPortsFormTheHamiltonianCycle) {
+  Network net(ring_cfg(GetParam()));
+  const HamiltonianRing* ring = net.ring();
+  ASSERT_NE(ring, nullptr);
+  for (RouterId r = 0; r < net.topo().routers(); ++r) {
+    const Network::RingOut& ro = net.ring_out(r);
+    ASSERT_NE(ro.port, kInvalidPort);
+    ASSERT_GT(ro.num_vcs, 0u);
+    // The ring output's channel must land on the successor's ring input.
+    const OutputPort& out = net.router(r).outputs[ro.port];
+    ASSERT_TRUE(out.wired());
+    const Channel& ch = net.channel(out.channel);
+    EXPECT_EQ(ch.dst_router, ring->successor(r));
+    EXPECT_TRUE(net.is_ring_input(ch.dst_router, ch.dst_port,
+                                  static_cast<VcId>(ro.first_vc)));
+  }
+}
+
+TEST_P(RingVariantTest, HeavyAdversarialLoadUsesButSurvivesTheRing) {
+  SimConfig cfg = ring_cfg(GetParam());
+  Network net(cfg);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::adversarial(1), 0.25, cfg.seed));
+  net.run(5000);
+  net.set_traffic(nullptr);
+  u64 guard = 0;
+  while (!net.drained() && ++guard < 500000) net.step();
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.stats().stalled_packets(), 0u);
+  // Whatever entered the ring left it (delivery or exit): entries are
+  // accounted against exits + deliveries, never lost.
+  EXPECT_GE(net.stats().ring_entries(), net.stats().ring_exits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, RingVariantTest,
+                         ::testing::Values(RingKind::kPhysical,
+                                           RingKind::kEmbedded),
+                         [](const ::testing::TestParamInfo<RingKind>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace ofar

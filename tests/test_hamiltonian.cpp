@@ -1,0 +1,133 @@
+// Tests for the Hamiltonian escape-ring construction: true Hamiltonian
+// cycle over every router, valid base-topology edges, distance algebra,
+// constructibility limits, and multi-ring (stride) variants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/dragonfly.hpp"
+#include "topology/hamiltonian.hpp"
+
+namespace ofar {
+namespace {
+
+class RingParamTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(RingParamTest, IsValidHamiltonianCycle) {
+  Dragonfly d(GetParam());
+  ASSERT_TRUE(HamiltonianRing::constructible(d));
+  HamiltonianRing ring(d);
+  EXPECT_TRUE(ring.validate(d));
+  EXPECT_EQ(ring.order().size(), d.routers());
+}
+
+TEST_P(RingParamTest, SuccessorPredecessorInverse) {
+  Dragonfly d(GetParam());
+  HamiltonianRing ring(d);
+  for (RouterId r = 0; r < d.routers(); ++r) {
+    EXPECT_EQ(ring.predecessor(ring.successor(r)), r);
+    EXPECT_EQ(ring.successor(ring.predecessor(r)), r);
+  }
+}
+
+TEST_P(RingParamTest, PositionsAreAPermutation) {
+  Dragonfly d(GetParam());
+  HamiltonianRing ring(d);
+  std::set<u32> seen;
+  for (RouterId r = 0; r < d.routers(); ++r) seen.insert(ring.position(r));
+  EXPECT_EQ(seen.size(), d.routers());
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), d.routers() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radixes, RingParamTest,
+                         ::testing::Values(2u, 3u, 4u, 6u));
+
+TEST(HamiltonianRing, ExactlyOneGroupCrossingPerGroup) {
+  Dragonfly d(3);
+  HamiltonianRing ring(d);
+  u32 crossings = 0;
+  for (RouterId r = 0; r < d.routers(); ++r)
+    if (ring.step_crosses_group(r)) ++crossings;
+  EXPECT_EQ(crossings, d.groups());
+}
+
+TEST(HamiltonianRing, RingDistanceAlgebra) {
+  Dragonfly d(2);
+  HamiltonianRing ring(d);
+  const RouterId a = ring.order()[0];
+  const RouterId b = ring.order()[10];
+  EXPECT_EQ(ring.ring_distance(a, b), 10u);
+  EXPECT_EQ(ring.ring_distance(b, a), d.routers() - 10);
+  EXPECT_EQ(ring.ring_distance(a, a), 0u);
+}
+
+TEST(HamiltonianRing, EmbeddedOutPortsAreRealLinks) {
+  Dragonfly d(3);
+  HamiltonianRing ring(d);
+  for (RouterId r = 0; r < d.routers(); ++r) {
+    const PortId p = ring.embedded_out_port(r);
+    if (ring.step_crosses_group(r)) {
+      EXPECT_EQ(d.port_class(p), PortClass::kGlobal);
+      EXPECT_EQ(d.global_peer(r, p).router, ring.successor(r));
+    } else {
+      EXPECT_EQ(d.port_class(p), PortClass::kLocal);
+      EXPECT_EQ(d.local_peer(d.local_of(r), p),
+                d.local_of(ring.successor(r)));
+    }
+  }
+}
+
+TEST(HamiltonianRing, NotConstructibleWhenTooFewGroups) {
+  // stride 1 needs distinct enter/exit carriers: groups > h + 1.
+  Dragonfly tiny(4, 4);  // groups = 4 <= h + 1 = 5
+  EXPECT_FALSE(HamiltonianRing::constructible(tiny));
+  Dragonfly ok(4, 6);
+  EXPECT_TRUE(HamiltonianRing::constructible(ok));
+}
+
+TEST(HamiltonianRing, StrideMustBeCoprimeWithGroups) {
+  Dragonfly d(2);  // 9 groups
+  EXPECT_FALSE(HamiltonianRing::constructible(d, 3));  // gcd(3,9)=3
+  EXPECT_TRUE(HamiltonianRing::constructible(d, 2));
+  HamiltonianRing ring(d, 2);
+  EXPECT_TRUE(ring.validate(d));
+}
+
+TEST(HamiltonianRing, DifferentStridesUseDifferentGlobalLinks) {
+  Dragonfly d(3);  // 19 groups
+  HamiltonianRing r1(d, 1), r2(d, 2);
+  ASSERT_TRUE(r1.validate(d));
+  ASSERT_TRUE(r2.validate(d));
+  // Global crossings of stride-1 connect consecutive groups, stride-2
+  // skip one: the global-link sets are disjoint by construction.
+  for (RouterId r = 0; r < d.routers(); ++r) {
+    if (!r1.step_crosses_group(r)) continue;
+    const GroupId from = d.group_of(r);
+    EXPECT_EQ(d.group_of(r1.successor(r)), (from + 1) % d.groups());
+  }
+  for (RouterId r = 0; r < d.routers(); ++r) {
+    if (!r2.step_crosses_group(r)) continue;
+    const GroupId from = d.group_of(r);
+    EXPECT_EQ(d.group_of(r2.successor(r)), (from + 2) % d.groups());
+  }
+}
+
+TEST(HamiltonianRing, EdgeDisjointCheckerDetectsSharedEdges) {
+  Dragonfly d(3);
+  HamiltonianRing r1(d, 1);
+  EXPECT_FALSE(HamiltonianRing::edge_disjoint(d, r1, r1));
+}
+
+TEST(HamiltonianRing, PaperScaleRingCoversAllRouters) {
+  Dragonfly d(6);  // full paper network, 876 routers
+  HamiltonianRing ring(d);
+  EXPECT_TRUE(ring.validate(d));
+  // Walk the whole ring once.
+  RouterId cur = ring.order()[0];
+  for (u32 i = 0; i < d.routers(); ++i) cur = ring.successor(cur);
+  EXPECT_EQ(cur, ring.order()[0]);
+}
+
+}  // namespace
+}  // namespace ofar

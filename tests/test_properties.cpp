@@ -1,0 +1,161 @@
+// Cross-configuration property matrix: the invariants that must hold for
+// EVERY sensible (mechanism, ring, VC-count, packet-size, seed) combination
+// — complete delivery, flow-control conservation, quiescence after drain,
+// and zero watchdog hits. These sweeps are the repository's main defence
+// against configuration-dependent corner cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "sim/network.hpp"
+#include "traffic/generator.hpp"
+
+namespace ofar {
+namespace {
+
+struct MatrixCase {
+  RoutingKind routing;
+  RingKind ring;
+  u32 packet_size;
+  u64 seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string n = to_string(info.param.routing);
+  for (auto& c : n)
+    if (c == '-') c = '_';
+  n += std::string("_") + to_string(info.param.ring);
+  n += "_p" + std::to_string(info.param.packet_size);
+  n += "_s" + std::to_string(info.param.seed);
+  return n;
+}
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  SimConfig make_config() const {
+    const MatrixCase& p = GetParam();
+    SimConfig cfg;
+    cfg.h = 2;
+    cfg.routing = p.routing;
+    cfg.ring = p.ring;
+    cfg.packet_size = p.packet_size;
+    cfg.seed = p.seed;
+    if (p.routing == RoutingKind::kPar) cfg.vcs_local = 4;
+    return cfg;
+  }
+};
+
+TEST_P(ConfigMatrixTest, DeliveryConservationQuiescence) {
+  const SimConfig cfg = make_config();
+  ASSERT_EQ(cfg.validate(), "");
+  Network net(cfg);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::mix({{PatternKind::kUniform, 0, 0.7},
+                           {PatternKind::kAdversarial, 1, 0.3}}),
+      0.12, cfg.seed));
+  net.run(2500);
+  ASSERT_TRUE(net.check_flow_conservation());
+  net.set_traffic(nullptr);
+  u64 guard = 0;
+  while (!net.drained() && ++guard < 500000) net.step();
+  ASSERT_TRUE(net.drained());
+  net.run(cfg.global_latency + 2);
+  EXPECT_TRUE(net.check_quiescent());
+  EXPECT_EQ(net.stats().delivered_packets(), net.stats().injected_packets());
+  EXPECT_EQ(net.stats().stalled_packets(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, ConfigMatrixTest,
+    ::testing::Values(
+        MatrixCase{RoutingKind::kMin, RingKind::kNone, 8, 1},
+        MatrixCase{RoutingKind::kVal, RingKind::kNone, 8, 1},
+        MatrixCase{RoutingKind::kPb, RingKind::kNone, 8, 1},
+        MatrixCase{RoutingKind::kUgal, RingKind::kNone, 8, 1},
+        MatrixCase{RoutingKind::kPar, RingKind::kNone, 8, 1},
+        MatrixCase{RoutingKind::kOfar, RingKind::kPhysical, 8, 1},
+        MatrixCase{RoutingKind::kOfar, RingKind::kEmbedded, 8, 1},
+        MatrixCase{RoutingKind::kOfarL, RingKind::kPhysical, 8, 1},
+        MatrixCase{RoutingKind::kOfarL, RingKind::kEmbedded, 8, 1}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    PacketSizes, ConfigMatrixTest,
+    ::testing::Values(
+        MatrixCase{RoutingKind::kOfar, RingKind::kPhysical, 1, 1},
+        MatrixCase{RoutingKind::kOfar, RingKind::kPhysical, 4, 1},
+        MatrixCase{RoutingKind::kOfar, RingKind::kPhysical, 16, 1},
+        MatrixCase{RoutingKind::kMin, RingKind::kNone, 1, 1},
+        MatrixCase{RoutingKind::kVal, RingKind::kNone, 16, 1}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConfigMatrixTest,
+    ::testing::Values(
+        MatrixCase{RoutingKind::kOfar, RingKind::kPhysical, 8, 7},
+        MatrixCase{RoutingKind::kOfar, RingKind::kEmbedded, 8, 99},
+        MatrixCase{RoutingKind::kPb, RingKind::kNone, 8, 7},
+        MatrixCase{RoutingKind::kVal, RingKind::kNone, 8, 1234567}),
+    case_name);
+
+// ---- non-maximal (trimmed) topologies ----
+
+class TrimmedTopologyTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(TrimmedTopologyTest, MinRoutingWorksOnTrimmedNetworks) {
+  SimConfig cfg;
+  cfg.h = 3;
+  cfg.groups = GetParam();
+  cfg.routing = RoutingKind::kMin;
+  cfg.ring = RingKind::kNone;
+  cfg.seed = 11;
+  ASSERT_EQ(cfg.validate(), "");
+  Network net(cfg);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::uniform(), 0.1, 11));
+  net.run(2500);
+  net.set_traffic(nullptr);
+  u64 guard = 0;
+  while (!net.drained() && ++guard < 500000) net.step();
+  EXPECT_TRUE(net.drained());
+  EXPECT_GT(net.stats().delivered_packets(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, TrimmedTopologyTest,
+                         ::testing::Values(2u, 3u, 7u, 12u, 19u));
+
+// ---- different VC provisioning for OFAR (Fig. 9 style, but healthy) ----
+
+class VcProvisioningTest
+    : public ::testing::TestWithParam<std::pair<u32, u32>> {};
+
+TEST_P(VcProvisioningTest, OfarDrainsWithAnyVcCount) {
+  const auto [local, global] = GetParam();
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = RingKind::kEmbedded;
+  cfg.vcs_local = local;
+  cfg.vcs_global = global;
+  cfg.seed = 21;
+  ASSERT_EQ(cfg.validate(), "");
+  Network net(cfg);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::uniform(), 0.1, 21));
+  net.run(2500);
+  net.set_traffic(nullptr);
+  u64 guard = 0;
+  while (!net.drained() && ++guard < 500000) net.step();
+  EXPECT_TRUE(net.drained());
+  EXPECT_EQ(net.stats().stalled_packets(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VcCounts, VcProvisioningTest,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(2u, 1u),
+                      std::make_pair(3u, 2u), std::make_pair(4u, 3u)));
+
+}  // namespace
+}  // namespace ofar

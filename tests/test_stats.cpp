@@ -1,0 +1,110 @@
+// Tests for the instrumentation layer: latency accumulators, measurement
+// windows, per-tag breakdown, and the transient time series.
+#include <gtest/gtest.h>
+
+#include "stats/stats.hpp"
+#include "stats/timeseries.hpp"
+
+namespace ofar {
+namespace {
+
+TEST(LatencyAccum, MeanStddevMinMax) {
+  LatencyAccum acc;
+  for (u64 v : {10u, 20u, 30u}) acc.add(v);
+  EXPECT_EQ(acc.count, 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 20.0);
+  EXPECT_EQ(acc.min, 10u);
+  EXPECT_EQ(acc.max, 30u);
+  EXPECT_NEAR(acc.stddev(), 8.1649, 1e-3);
+}
+
+TEST(LatencyAccum, EmptyIsSafe) {
+  LatencyAccum acc;
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Stats, AcceptedAndOfferedLoads) {
+  Stats s;
+  s.reset(1000);
+  const u32 nodes = 10;
+  for (int i = 0; i < 50; ++i) s.on_generated(0, 8);
+  for (int i = 0; i < 25; ++i) s.on_delivered(0, 8, 100, 1000, 3);
+  // 400 generated phits, 200 delivered phits over 40 cycles and 10 nodes.
+  EXPECT_DOUBLE_EQ(s.offered_load(1040, nodes), 1.0);
+  EXPECT_DOUBLE_EQ(s.accepted_load(1040, nodes), 0.5);
+  EXPECT_DOUBLE_EQ(s.accepted_load(1000, nodes), 0.0);  // empty window
+}
+
+TEST(Stats, ResetClearsCounters) {
+  Stats s;
+  s.on_generated(0, 8);
+  s.on_delivered(0, 8, 50, 0, 3);
+  s.on_local_misroute();
+  s.on_ring_enter();
+  s.reset(500);
+  EXPECT_EQ(s.generated_packets(), 0u);
+  EXPECT_EQ(s.delivered_packets(), 0u);
+  EXPECT_EQ(s.local_misroutes(), 0u);
+  EXPECT_EQ(s.ring_entries(), 0u);
+  EXPECT_EQ(s.window_start(), 500u);
+  EXPECT_EQ(s.latency().count, 0u);
+}
+
+TEST(Stats, PerTagBreakdown) {
+  Stats s;
+  s.reset(0);
+  s.on_delivered(0, 8, 10, 0, 3);
+  s.on_delivered(2, 8, 30, 0, 3);
+  s.on_delivered(2, 8, 50, 0, 3);
+  EXPECT_EQ(s.latency_by_tag(0).count, 1u);
+  EXPECT_EQ(s.latency_by_tag(1).count, 0u);
+  EXPECT_EQ(s.latency_by_tag(2).count, 2u);
+  EXPECT_DOUBLE_EQ(s.latency_by_tag(2).mean(), 40.0);
+  EXPECT_EQ(s.latency_by_tag(99).count, 0u);  // never seen: safe default
+}
+
+TEST(Stats, RingUseFraction) {
+  Stats s;
+  s.reset(0);
+  for (int i = 0; i < 10; ++i) s.on_delivered(0, 8, 10, 0, 3);
+  s.on_ring_enter();
+  s.on_ring_enter();
+  EXPECT_DOUBLE_EQ(s.ring_use_fraction(), 0.2);
+}
+
+TEST(TimeSeries, BucketsByCycle) {
+  TimeSeries ts(1000, 500, 100);
+  EXPECT_EQ(ts.num_buckets(), 5u);
+  ts.record(1000, 10.0);
+  ts.record(1099, 30.0);
+  ts.record(1100, 7.0);
+  ts.record(999, 99.0);   // before window: dropped
+  ts.record(1500, 99.0);  // after window: dropped
+  EXPECT_EQ(ts.bucket(0).count, 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket(0).mean(), 20.0);
+  EXPECT_EQ(ts.bucket(1).count, 1u);
+  EXPECT_DOUBLE_EQ(ts.bucket(1).mean(), 7.0);
+  EXPECT_EQ(ts.bucket(4).count, 0u);
+  EXPECT_DOUBLE_EQ(ts.bucket(4).mean(), 0.0);
+}
+
+TEST(TimeSeries, BucketMidpoints) {
+  TimeSeries ts(2000, 300, 100);
+  EXPECT_EQ(ts.bucket_mid(0), 2050u);
+  EXPECT_EQ(ts.bucket_mid(2), 2250u);
+}
+
+TEST(Stats, SeriesSurvivesWindowReset) {
+  Stats s;
+  s.enable_timeseries(0, 1000, 100);
+  s.on_delivered(0, 8, 42, 50, 3);
+  s.reset(500);
+  s.on_delivered(0, 8, 43, 550, 3);
+  ASSERT_NE(s.series(), nullptr);
+  EXPECT_EQ(s.series()->bucket(0).count, 1u);
+  EXPECT_EQ(s.series()->bucket(5).count, 1u);
+}
+
+}  // namespace
+}  // namespace ofar
