@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_congestion.dir/ablation_congestion.cpp.o"
+  "CMakeFiles/ablation_congestion.dir/ablation_congestion.cpp.o.d"
+  "ablation_congestion"
+  "ablation_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rings.dir/ablation_rings.cpp.o"
+  "CMakeFiles/ablation_rings.dir/ablation_rings.cpp.o.d"
+  "ablation_rings"
+  "ablation_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

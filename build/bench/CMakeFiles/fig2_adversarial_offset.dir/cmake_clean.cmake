@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_adversarial_offset.dir/fig2_adversarial_offset.cpp.o"
+  "CMakeFiles/fig2_adversarial_offset.dir/fig2_adversarial_offset.cpp.o.d"
+  "fig2_adversarial_offset"
+  "fig2_adversarial_offset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_adversarial_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_uniform.dir/fig3_uniform.cpp.o"
+  "CMakeFiles/fig3_uniform.dir/fig3_uniform.cpp.o.d"
+  "fig3_uniform"
+  "fig3_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

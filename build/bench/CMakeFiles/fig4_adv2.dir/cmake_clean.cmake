@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_adv2.dir/fig4_adv2.cpp.o"
+  "CMakeFiles/fig4_adv2.dir/fig4_adv2.cpp.o.d"
+  "fig4_adv2"
+  "fig4_adv2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_adv2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

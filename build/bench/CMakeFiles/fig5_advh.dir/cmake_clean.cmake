@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_advh.dir/fig5_advh.cpp.o"
+  "CMakeFiles/fig5_advh.dir/fig5_advh.cpp.o.d"
+  "fig5_advh"
+  "fig5_advh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_advh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bursts.dir/fig7_bursts.cpp.o"
+  "CMakeFiles/fig7_bursts.dir/fig7_bursts.cpp.o.d"
+  "fig7_bursts"
+  "fig7_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

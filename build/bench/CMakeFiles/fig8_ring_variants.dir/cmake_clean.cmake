@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ring_variants.dir/fig8_ring_variants.cpp.o"
+  "CMakeFiles/fig8_ring_variants.dir/fig8_ring_variants.cpp.o.d"
+  "fig8_ring_variants"
+  "fig8_ring_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ring_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

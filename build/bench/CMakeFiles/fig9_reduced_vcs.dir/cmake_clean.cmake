@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_reduced_vcs.dir/fig9_reduced_vcs.cpp.o"
+  "CMakeFiles/fig9_reduced_vcs.dir/fig9_reduced_vcs.cpp.o.d"
+  "fig9_reduced_vcs"
+  "fig9_reduced_vcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_reduced_vcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_study.dir/adversarial_study.cpp.o"
+  "CMakeFiles/adversarial_study.dir/adversarial_study.cpp.o.d"
+  "adversarial_study"
+  "adversarial_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

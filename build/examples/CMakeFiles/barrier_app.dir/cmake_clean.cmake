@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_app.dir/barrier_app.cpp.o"
+  "CMakeFiles/barrier_app.dir/barrier_app.cpp.o.d"
+  "barrier_app"
+  "barrier_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

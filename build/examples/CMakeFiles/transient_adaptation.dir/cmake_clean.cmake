@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_adaptation.dir/transient_adaptation.cpp.o"
+  "CMakeFiles/transient_adaptation.dir/transient_adaptation.cpp.o.d"
+  "transient_adaptation"
+  "transient_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for transient_adaptation.
+# This may be replaced when dependencies are built.

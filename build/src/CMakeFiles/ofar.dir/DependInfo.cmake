@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/ofar.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/ofar.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/CMakeFiles/ofar.dir/common/parallel.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/common/parallel.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/ofar.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/ofar.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/escape_ring.cpp" "src/CMakeFiles/ofar.dir/core/escape_ring.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/core/escape_ring.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/ofar.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/ofar_routing.cpp" "src/CMakeFiles/ofar.dir/core/ofar_routing.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/core/ofar_routing.cpp.o.d"
+  "/root/repo/src/routing/minimal.cpp" "src/CMakeFiles/ofar.dir/routing/minimal.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/routing/minimal.cpp.o.d"
+  "/root/repo/src/routing/par.cpp" "src/CMakeFiles/ofar.dir/routing/par.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/routing/par.cpp.o.d"
+  "/root/repo/src/routing/piggyback.cpp" "src/CMakeFiles/ofar.dir/routing/piggyback.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/routing/piggyback.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/CMakeFiles/ofar.dir/routing/routing.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/routing/routing.cpp.o.d"
+  "/root/repo/src/routing/ugal.cpp" "src/CMakeFiles/ofar.dir/routing/ugal.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/routing/ugal.cpp.o.d"
+  "/root/repo/src/routing/valiant.cpp" "src/CMakeFiles/ofar.dir/routing/valiant.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/routing/valiant.cpp.o.d"
+  "/root/repo/src/sim/allocator.cpp" "src/CMakeFiles/ofar.dir/sim/allocator.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/sim/allocator.cpp.o.d"
+  "/root/repo/src/sim/arbiter.cpp" "src/CMakeFiles/ofar.dir/sim/arbiter.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/sim/arbiter.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/CMakeFiles/ofar.dir/sim/channel.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/sim/channel.cpp.o.d"
+  "/root/repo/src/sim/fifo.cpp" "src/CMakeFiles/ofar.dir/sim/fifo.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/sim/fifo.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/ofar.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/packet_pool.cpp" "src/CMakeFiles/ofar.dir/sim/packet_pool.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/sim/packet_pool.cpp.o.d"
+  "/root/repo/src/sim/router.cpp" "src/CMakeFiles/ofar.dir/sim/router.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/sim/router.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/ofar.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/ofar.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/topology/dragonfly.cpp" "src/CMakeFiles/ofar.dir/topology/dragonfly.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/topology/dragonfly.cpp.o.d"
+  "/root/repo/src/topology/hamiltonian.cpp" "src/CMakeFiles/ofar.dir/topology/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/topology/hamiltonian.cpp.o.d"
+  "/root/repo/src/traffic/generator.cpp" "src/CMakeFiles/ofar.dir/traffic/generator.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/traffic/generator.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/CMakeFiles/ofar.dir/traffic/pattern.cpp.o" "gcc" "src/CMakeFiles/ofar.dir/traffic/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hamiltonian.dir/test_hamiltonian.cpp.o"
+  "CMakeFiles/test_hamiltonian.dir/test_hamiltonian.cpp.o.d"
+  "test_hamiltonian"
+  "test_hamiltonian.pdb"
+  "test_hamiltonian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
