@@ -1,0 +1,237 @@
+// Core cycle-kernel throughput benchmark: a fixed matrix of
+// (uniform, adversarial) x (low, saturation) workloads on the paper's h=4
+// dragonfly under OFAR with the physical escape ring, measured in wall-clock
+// cycles/sec and phits/sec and written to BENCH_core.json so the perf
+// trajectory of Network::step() is tracked from PR 1 onward.
+//
+// The two regimes exercise the two ends of the kernel's cost model:
+//
+//  - "low" is a transient burst + drain (uniform/adversarial at 0.01
+//    phits/node/cycle for the first 2000 cycles, source off afterwards,
+//    40000-cycle horizon — the fig6-style regime the activity worklists
+//    target). Most of the horizon has few or no active routers, so this
+//    point measures how well per-cycle work tracks *activity* rather than
+//    topology size.
+//  - "sat" drives Bernoulli traffic far past saturation so every router is
+//    busy every cycle; this point guards the worklist bookkeeping overhead
+//    when there is nothing to skip.
+//
+// Methodology notes: only Network::run() is timed (construction is not part
+// of the kernel), each point runs `--repeats` times on a fresh network and
+// the fastest run is reported (the machine-noise-robust estimator), and the
+// per-point simulation stats are emitted alongside the rates so a perf run
+// doubles as a determinism check against tests/test_determinism.cpp.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/network.hpp"
+#include "traffic/generator.hpp"
+
+namespace {
+
+using namespace ofar;
+
+struct PointSpec {
+  const char* name;
+  const char* pattern_name;
+  TrafficPattern pattern;
+  double load = 0.0;     // phits/(node*cycle) offered while the source is on
+  bool transient = false;  // true: burst [0, burst_until) then drain
+  Cycle burst_until = 0;   // transient only
+  Cycle warmup = 0;        // steady only: untimed lead-in
+  Cycle measure = 0;       // timed cycles
+};
+
+struct PointResult {
+  double wall_seconds = 0.0;
+  double cycles_per_sec = 0.0;
+  double phits_per_sec = 0.0;
+  u64 measured_cycles = 0;
+  u64 delivered_packets = 0;
+  u64 delivered_phits = 0;
+  double mean_latency = 0.0;
+  u64 local_misroutes = 0;
+  u64 global_misroutes = 0;
+  bool drained = false;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One fresh-network run of a matrix point. Only the measured window is
+/// timed; phits/sec counts deliveries inside that window, while the packet
+/// counters report run totals (both are per-seed deterministic).
+PointResult run_point(const SimConfig& cfg, const PointSpec& spec) {
+  Network net(cfg);
+  if (spec.transient) {
+    std::vector<PhasedSource::Phase> phases(1);
+    phases[0].pattern = spec.pattern;
+    phases[0].load_phits = spec.load;
+    phases[0].until = spec.burst_until;
+    net.set_traffic(std::make_unique<PhasedSource>(std::move(phases),
+                                                   cfg.seed));
+  } else {
+    net.set_traffic(std::make_unique<BernoulliSource>(spec.pattern, spec.load,
+                                                      cfg.seed));
+    net.run(spec.warmup);
+  }
+  const u64 phits_before = net.stats().delivered_phits();
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run(spec.measure);
+  const double secs = seconds_since(t0);
+
+  PointResult r;
+  r.wall_seconds = secs;
+  r.measured_cycles = spec.measure;
+  r.cycles_per_sec = static_cast<double>(spec.measure) / secs;
+  r.phits_per_sec =
+      static_cast<double>(net.stats().delivered_phits() - phits_before) / secs;
+  r.delivered_packets = net.stats().delivered_packets();
+  r.delivered_phits = net.stats().delivered_phits();
+  r.mean_latency = net.stats().latency().mean();
+  r.local_misroutes = net.stats().local_misroutes();
+  r.global_misroutes = net.stats().global_misroutes();
+  r.drained = net.drained();
+  return r;
+}
+
+void json_point(std::FILE* f, const PointSpec& spec, const PointResult& best,
+                bool last) {
+  std::fprintf(f, "    {\n");
+  std::fprintf(f, "      \"name\": \"%s\",\n", spec.name);
+  std::fprintf(f, "      \"pattern\": \"%s\",\n", spec.pattern_name);
+  std::fprintf(f, "      \"load_phits_per_node_cycle\": %g,\n", spec.load);
+  if (spec.transient) {
+    std::fprintf(f, "      \"schedule\": \"burst\",\n");
+    std::fprintf(f, "      \"burst_until_cycle\": %llu,\n",
+                 static_cast<unsigned long long>(spec.burst_until));
+  } else {
+    std::fprintf(f, "      \"schedule\": \"steady\",\n");
+    std::fprintf(f, "      \"warmup_cycles\": %llu,\n",
+                 static_cast<unsigned long long>(spec.warmup));
+  }
+  std::fprintf(f, "      \"measured_cycles\": %llu,\n",
+               static_cast<unsigned long long>(best.measured_cycles));
+  std::fprintf(f, "      \"wall_seconds\": %.6f,\n", best.wall_seconds);
+  std::fprintf(f, "      \"cycles_per_sec\": %.1f,\n", best.cycles_per_sec);
+  std::fprintf(f, "      \"phits_per_sec\": %.1f,\n", best.phits_per_sec);
+  std::fprintf(f, "      \"delivered_packets\": %llu,\n",
+               static_cast<unsigned long long>(best.delivered_packets));
+  std::fprintf(f, "      \"delivered_phits\": %llu,\n",
+               static_cast<unsigned long long>(best.delivered_phits));
+  std::fprintf(f, "      \"mean_latency_cycles\": %.4f,\n", best.mean_latency);
+  std::fprintf(f, "      \"local_misroutes\": %llu,\n",
+               static_cast<unsigned long long>(best.local_misroutes));
+  std::fprintf(f, "      \"global_misroutes\": %llu,\n",
+               static_cast<unsigned long long>(best.global_misroutes));
+  std::fprintf(f, "      \"drained\": %s\n", best.drained ? "true" : "false");
+  std::fprintf(f, "    }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ofar;
+  using namespace ofar::bench;
+  CommandLine cli(argc, argv);
+  const u32 h = static_cast<u32>(cli.get_uint("h", 4));
+  const u64 seed = cli.get_uint("seed", 12345);
+  const u32 repeats = static_cast<u32>(cli.get_uint("repeats", 2));
+  const std::string out = cli.get_string("out", "BENCH_core.json");
+  if (!reject_unknown(cli)) return 1;
+
+  SimConfig cfg;
+  cfg.h = h;
+  cfg.seed = seed;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = RingKind::kPhysical;
+
+  std::vector<PointSpec> matrix;
+  {
+    PointSpec p;
+    p.name = "uniform_low";
+    p.pattern_name = "uniform";
+    p.pattern = TrafficPattern::uniform();
+    p.load = 0.01;
+    p.transient = true;
+    p.burst_until = 2'000;
+    p.measure = 40'000;
+    matrix.push_back(p);
+    p.name = "adversarial_low";
+    p.pattern_name = "adversarial+1";
+    p.pattern = TrafficPattern::adversarial(1);
+    matrix.push_back(p);
+  }
+  {
+    PointSpec p;
+    p.name = "uniform_sat";
+    p.pattern_name = "uniform";
+    p.pattern = TrafficPattern::uniform();
+    p.load = 1.0;
+    p.warmup = 1'000;
+    p.measure = 2'000;
+    matrix.push_back(p);
+    p.name = "adversarial_sat";
+    p.pattern_name = "adversarial+1";
+    p.pattern = TrafficPattern::adversarial(1);
+    p.load = 0.7;
+    matrix.push_back(p);
+  }
+
+  std::printf("perf_core: h=%u seed=%llu repeats=%u (%s build)\n", h,
+              static_cast<unsigned long long>(seed), repeats,
+#ifdef NDEBUG
+              "NDEBUG"
+#else
+              "checked"
+#endif
+  );
+
+  std::vector<PointResult> best(matrix.size());
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    for (u32 rep = 0; rep < repeats; ++rep) {
+      const PointResult r = run_point(cfg, matrix[i]);
+      if (rep == 0 || r.wall_seconds < best[i].wall_seconds) best[i] = r;
+    }
+    std::printf(
+        "  %-16s %10.0f cycles/sec %12.0f phits/sec  (%.3f s, del=%llu)\n",
+        matrix[i].name, best[i].cycles_per_sec, best[i].phits_per_sec,
+        best[i].wall_seconds,
+        static_cast<unsigned long long>(best[i].delivered_packets));
+  }
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_core: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_core\",\n");
+  std::fprintf(f, "  \"config\": {\n");
+  std::fprintf(f, "    \"h\": %u,\n", h);
+  std::fprintf(f, "    \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "    \"routing\": \"OFAR\",\n");
+  std::fprintf(f, "    \"ring\": \"physical\",\n");
+  std::fprintf(f, "    \"repeats\": %u,\n", repeats);
+#ifdef NDEBUG
+  std::fprintf(f, "    \"checked_build\": false\n");
+#else
+  std::fprintf(f, "    \"checked_build\": true\n");
+#endif
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < matrix.size(); ++i)
+    json_point(f, matrix[i], best[i], i + 1 == matrix.size());
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

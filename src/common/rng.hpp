@@ -72,6 +72,21 @@ class Rng {
   /// Bernoulli trial with probability p.
   bool chance(double p) noexcept { return uniform() < p; }
 
+  /// Integer threshold form of chance(): a raw draw x passes the trial iff
+  /// (x >> 11) < chance_threshold(p). Exactly equivalent to chance(p) —
+  /// uniform() is (x >> 11) * 2^-53 with both sides of the comparison exact,
+  /// so `u * 2^-53 < p` over the reals is `u < ceil(p * 2^53)` for integer u
+  /// (p * 2^53 is a pure exponent shift, also exact). Lets per-node
+  /// generation loops compare integers instead of converting every draw to
+  /// double (see BernoulliSource::tick).
+  static u64 chance_threshold(double p) noexcept {
+    if (p <= 0.0) return 0;
+    if (p >= 1.0) return u64{1} << 53;
+    const double scaled = p * 0x1.0p53;
+    const u64 t = static_cast<u64>(scaled);
+    return static_cast<double>(t) < scaled ? t + 1 : t;
+  }
+
  private:
   static constexpr u64 rotl(u64 x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

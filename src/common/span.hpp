@@ -1,0 +1,39 @@
+// Minimal non-owning array view used for the simulator's SoA state.
+//
+// Hot per-router state (credit counters, VC FIFO metadata) is stored in
+// contiguous per-router pools (see Router); the per-port structs expose that
+// state through Span so per-cycle scans walk flat arrays instead of
+// pointer-chasing through nested std::vectors. A Span never owns storage:
+// whoever builds the pool binds views into it and must keep the pool's
+// buffer address stable for the Span's lifetime.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ofar {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(T* data, u32 size) noexcept : data_(data), size_(size) {}
+
+  u32 size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](u32 i) const noexcept {
+    OFAR_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T* data() const noexcept { return data_; }
+  T* begin() const noexcept { return data_; }
+  T* end() const noexcept { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  u32 size_ = 0;
+};
+
+}  // namespace ofar

@@ -10,6 +10,10 @@ namespace {
 constexpr u32 kEjectionLatency = 1;
 constexpr u32 kEjectionCredits = 1u << 30;  // sink: effectively infinite
 constexpr Cycle kWatchdogPeriod = 4096;
+// Warm start for the event-wheel slots: enough for moderate loads, so the
+// steady-state hot loop never grows a slot vector (clear() keeps capacity,
+// so any later growth also happens at most once per slot).
+constexpr std::size_t kWheelSlotReserve = 64;
 }  // namespace
 
 Network::Network(const SimConfig& cfg)
@@ -24,6 +28,7 @@ Network::Network(const SimConfig& cfg)
   // ---- routers: input FIFOs, output units, arbiters ----
   const u32 ports = topo_.ports_per_router();
   routers_.resize(topo_.routers());
+  std::vector<std::pair<u32, u32>> shape(ports);  // per port: (vcs, capacity)
   for (RouterId r = 0; r < topo_.routers(); ++r) {
     Router& router = routers_[r];
     router.id = r;
@@ -31,7 +36,9 @@ Network::Network(const SimConfig& cfg)
     router.outputs.resize(ports);
     router.input_mask.assign(ports, 0);
     OFAR_CHECK_MSG(ports <= 64, "active-output bitmask is 64 bits wide");
-    u32 max_vcs = 1;
+    // Pass 1: per-port VC count and FIFO capacity, so the SoA pools can be
+    // reserved to their exact final size before any span is bound.
+    u32 total_vcs = 0;
     for (PortId port = 0; port < ports; ++port) {
       u32 vcs = 0, cap = 0;
       switch (topo_.port_class(port)) {
@@ -64,14 +71,20 @@ Network::Network(const SimConfig& cfg)
         ring_in_num_vcs_[r] = 1;
         vcs += 1;
       }
-      InputPort& in = router.inputs[port];
-      in.vcs.assign(vcs, VcFifo(cap));
-      in.head_busy.assign(vcs, 0);
       OFAR_CHECK_MSG(vcs <= 8, "input VC bitmask is 8 bits wide");
+      shape[port] = {vcs, cap};
+      total_vcs += vcs;
+    }
+    // Pass 2: build the pools and bind the per-port views.
+    router.fifo_pool.reserve(total_vcs);
+    router.head_busy_pool.reserve(total_vcs);
+    u32 max_vcs = 1;
+    for (PortId port = 0; port < ports; ++port) {
+      const auto [vcs, cap] = shape[port];
+      router.bind_input_pool(port, vcs, cap);
+      router.buffer_capacity_phits += vcs * cap;
       max_vcs = std::max(max_vcs, vcs);
     }
-    for (const InputPort& in : router.inputs)
-      for (const VcFifo& f : in.vcs) router.buffer_capacity_phits += f.capacity();
     router.input_arb.reserve(ports);
     router.output_arb.reserve(ports);
     for (PortId port = 0; port < ports; ++port) {
@@ -87,11 +100,19 @@ Network::Network(const SimConfig& cfg)
   policy_ = make_policy(cfg_);
   pending_.resize(topo_.nodes());
 
+  router_in_worklist_.assign(topo_.routers(), 0);
+  active_routers_.reserve(topo_.routers());
+  node_in_worklist_.assign(topo_.nodes(), 0);
+  active_nodes_.reserve(topo_.nodes());
+
   wheel_size_ =
       std::max({cfg_.local_latency, cfg_.global_latency, kEjectionLatency}) +
       1;
   phit_wheel_.resize(wheel_size_);
   credit_wheel_.resize(wheel_size_);
+  for (auto& slot : phit_wheel_) slot.reserve(kWheelSlotReserve);
+  for (auto& slot : credit_wheel_) slot.reserve(kWheelSlotReserve);
+  reqs_scratch_.reserve(static_cast<std::size_t>(ports) * 8);
 }
 
 void Network::build_ring() {
@@ -189,19 +210,34 @@ void Network::build_channels() {
 }
 
 void Network::size_output_credits() {
-  for (const Channel& ch : channels_) {
-    OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
-    if (ch.is_ejection()) {
-      out.credits.assign(1, kEjectionCredits);
-      out.credit_cap.assign(1, kEjectionCredits);
-      continue;
+  for (Router& r : routers_) {
+    // Pass 1: total downstream-VC count, so the credit pools are reserved
+    // to their exact final size before any span is bound.
+    u32 total = 0;
+    for (const OutputPort& out : r.outputs) {
+      if (!out.wired()) continue;
+      const Channel& ch = channels_[out.channel];
+      total += ch.is_ejection()
+                   ? 1u
+                   : routers_[ch.dst_router].inputs[ch.dst_port].vcs.size();
     }
-    const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
-    out.credits.resize(in.vcs.size());
-    out.credit_cap.resize(in.vcs.size());
-    for (std::size_t v = 0; v < in.vcs.size(); ++v) {
-      out.credits[v] = in.vcs[v].capacity();
-      out.credit_cap[v] = in.vcs[v].capacity();
+    r.credit_pool.reserve(total);
+    r.credit_cap_pool.reserve(total);
+    // Pass 2: bind per-port views and fill in the downstream capacities.
+    for (PortId port = 0; port < r.outputs.size(); ++port) {
+      OutputPort& out = r.outputs[port];
+      if (!out.wired()) continue;
+      const Channel& ch = channels_[out.channel];
+      if (ch.is_ejection()) {
+        r.bind_credit_span(port, 1, kEjectionCredits);
+        continue;
+      }
+      const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
+      r.bind_credit_span(port, in.vcs.size(), 0);
+      for (u32 v = 0; v < in.vcs.size(); ++v) {
+        out.credits[v] = in.vcs[v].capacity();
+        out.credit_cap[v] = in.vcs[v].capacity();
+      }
     }
   }
 }
@@ -274,22 +310,15 @@ void Network::offer(NodeId src, NodeId dst, u16 tag) {
   stats_.on_generated(tag, cfg_.packet_size);
   pending_[src].push_back({dst, tag, now_});
   ++pending_total_;
+  mark_node_pending(src);
 }
 
 bool Network::try_inject(NodeId src, NodeId dst, u16 tag) {
   Router& r = routers_[topo_.router_of_node(src)];
   if (r.throttled) return false;
   InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(src))];
-  u32 best_free = 0;
-  std::size_t best_vc = in.vcs.size();
-  for (std::size_t v = 0; v < in.vcs.size(); ++v) {
-    const u32 free = in.vcs[v].capacity() - in.vcs[v].stored_phits();
-    if (free >= cfg_.packet_size && free > best_free) {
-      best_free = free;
-      best_vc = v;
-    }
-  }
-  if (best_vc == in.vcs.size()) return false;
+  u32 best_vc;
+  if (!in.best_fit_vc(cfg_.packet_size, best_vc)) return false;
   stats_.on_generated(tag, cfg_.packet_size);
   place_packet(src, {dst, tag, now_});
   return true;
@@ -298,16 +327,10 @@ bool Network::try_inject(NodeId src, NodeId dst, u16 tag) {
 void Network::place_packet(NodeId src, const Offer& offer) {
   Router& r = routers_[topo_.router_of_node(src)];
   InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(src))];
-  u32 best_free = 0;
-  std::size_t best_vc = in.vcs.size();
-  for (std::size_t v = 0; v < in.vcs.size(); ++v) {
-    const u32 free = in.vcs[v].capacity() - in.vcs[v].stored_phits();
-    if (free >= cfg_.packet_size && free > best_free) {
-      best_free = free;
-      best_vc = v;
-    }
-  }
-  OFAR_DCHECK(best_vc != in.vcs.size());  // caller checked space
+  u32 best_vc;
+  const bool fits = in.best_fit_vc(cfg_.packet_size, best_vc);
+  OFAR_DCHECK(fits);  // caller checked space
+  (void)fits;
 
   const PacketId id = pool_.create();
   Packet& pkt = pool_.get(id);
@@ -322,11 +345,13 @@ void Network::place_packet(NodeId src, const Offer& offer) {
 
   policy_->on_inject(*this, pkt, r.id);
 
+  if (in.vcs[best_vc].empty()) ++r.routable_heads;  // becomes a head
   in.vcs[best_vc].push_whole_packet(id, cfg_.packet_size);
   ++r.buffered_packets;
   r.buffered_phits += cfg_.packet_size;
   r.input_mask[topo_.node_port(topo_.node_slot(src))] |=
       static_cast<u8>(1u << best_vc);
+  mark_router_active(r.id);
   stats_.on_injected();
   if (tracer_) {
     TraceEvent ev;
@@ -368,9 +393,14 @@ void Network::deliver_events() {
     Router& dst = routers_[ch.dst_router];
     VcFifo& fifo = dst.inputs[ch.dst_port].vcs[e.vc];
     if (e.head) {
+      if (fifo.empty()) ++dst.routable_heads;  // becomes a head
       fifo.push_packet(e.pkt);
       ++dst.buffered_packets;
       dst.input_mask[ch.dst_port] |= static_cast<u8>(1u << e.vc);
+      // Continuation phits never need a mark: a FIFO entry is only popped
+      // once all its phits arrived (cut-through pop requires sent<=arrived),
+      // so their head's mark is still in force when they land.
+      mark_router_active(ch.dst_router);
     } else {
       fifo.push_phit();
     }
@@ -405,8 +435,42 @@ void Network::deliver_packet(PacketId id) {
   pool_.destroy(id);
 }
 
+void Network::mark_router_active(RouterId r) {
+  if (router_in_worklist_[r]) return;
+  router_in_worklist_[r] = 1;
+  if (!active_routers_.empty() && r < active_routers_.back())
+    active_routers_sorted_ = false;
+  active_routers_.push_back(r);
+}
+
+void Network::mark_node_pending(NodeId n) {
+  if (node_in_worklist_[n]) return;
+  node_in_worklist_[n] = 1;
+  if (!active_nodes_.empty() && n < active_nodes_.back())
+    active_nodes_sorted_ = false;
+  active_nodes_.push_back(n);
+}
+
 void Network::advance_transfers() {
-  for (Router& r : routers_) {
+  // The worklist prune is fused into this pass so the list is only walked
+  // once before allocation: restore sorted order (marks append out of
+  // order), then in one sweep drop routers that went idle since the last
+  // cycle and advance the survivors' transfers. Routers that drain *during*
+  // this cycle stay listed until the next cycle's sweep — update_throttle
+  // relies on seeing a drained router once more to release its latch, and
+  // compaction preserves the sorted order for the later phases.
+  if (!active_routers_sorted_) {
+    std::sort(active_routers_.begin(), active_routers_.end());
+    active_routers_sorted_ = true;
+  }
+  std::size_t w = 0;
+  for (const RouterId id : active_routers_) {
+    Router& r = routers_[id];
+    if (!r.has_activity()) {
+      router_in_worklist_[id] = 0;
+      continue;
+    }
+    active_routers_[w++] = id;
     u64 mask = r.active_out_mask;
     while (mask != 0) {
       const u32 port = static_cast<u32>(__builtin_ctzll(mask));
@@ -432,9 +496,14 @@ void Network::advance_transfers() {
       --r.buffered_phits;
       if (popped) {
         --r.buffered_packets;
-        if (fifo.empty())
+        if (fifo.empty()) {
           r.input_mask[out.src_port] &=
               static_cast<u8>(~(1u << out.src_vc));
+        } else {
+          // The queued entry behind the departing packet becomes the head;
+          // head_busy is cleared below (popped implies phits_left hits 0).
+          ++r.routable_heads;
+        }
       }
       if (out.phits_left == 0) {
         out.active = kInvalidPacket;
@@ -444,11 +513,18 @@ void Network::advance_transfers() {
       }
     }
   }
+  active_routers_.resize(w);
 }
 
 void Network::do_allocation() {
-  for (Router& r : routers_) {
-    if (r.buffered_packets == 0) continue;
+  for (const RouterId id : active_routers_) {
+    Router& r = routers_[id];
+    // No routable head means the port scan below would find nothing to
+    // request: every buffered packet is either mid-transfer or queued
+    // behind one. Skipping is observationally identical (an empty request
+    // set never reaches the allocator, so no arbiter state changes) and
+    // saves the scan for the packet_size cycles each grant streams.
+    if (r.routable_heads == 0) continue;
     reqs_scratch_.clear();
     for (PortId port = 0; port < r.inputs.size(); ++port) {
       u8 mask = r.input_mask[port];
@@ -491,6 +567,8 @@ void Network::commit_grant(Router& r, const AllocRequest& rq) {
   ++r.active_transfers;
   r.active_out_mask |= 1ull << rq.choice.out_port;
   r.inputs[rq.in_port].head_busy[rq.in_vc] = 1;
+  OFAR_DCHECK(r.routable_heads > 0);
+  --r.routable_heads;  // head now mid-transfer
 
   pkt.last_progress = now_;
 
@@ -552,7 +630,14 @@ void Network::commit_grant(Router& r, const AllocRequest& rq) {
 }
 
 void Network::update_throttle() {
-  for (Router& r : routers_) {
+  // Only routers on the worklist can have a non-zero occupancy or a set
+  // throttle latch: a latch is only set above throttle_on (so the router
+  // buffers phits and is listed) and is released by this sweep in the very
+  // cycle the router drains — before the next cycle's prune (in
+  // advance_transfers) drops it. Idle routers therefore behave exactly as
+  // under the full scan.
+  for (const RouterId id : active_routers_) {
+    Router& r = routers_[id];
     const double occ = static_cast<double>(r.buffered_phits) /
                        static_cast<double>(r.buffer_capacity_phits);
     if (r.throttled) {
@@ -566,26 +651,34 @@ void Network::update_throttle() {
 void Network::do_injection() {
   if (cfg_.congestion_throttle) update_throttle();
   if (traffic_) traffic_->tick(*this);
-  if (pending_total_ == 0) return;
-  for (NodeId n = 0; n < pending_.size(); ++n) {
+  if (active_nodes_.empty()) return;
+  if (!active_nodes_sorted_) {
+    std::sort(active_nodes_.begin(), active_nodes_.end());
+    active_nodes_sorted_ = true;
+  }
+  std::size_t w = 0;
+  for (const NodeId n : active_nodes_) {
     auto& queue = pending_[n];
     while (!queue.empty()) {
-      // place_packet requires space; probe first.
+      // place_packet requires space; probe with the same best-fit rule the
+      // placement uses (InputPort::best_fit_vc), so probe and placement
+      // cannot diverge.
       const Router& r = routers_[topo_.router_of_node(n)];
       if (r.throttled) break;
       const InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(n))];
-      bool fits = false;
-      for (const VcFifo& f : in.vcs)
-        if (f.capacity() - f.stored_phits() >= cfg_.packet_size) {
-          fits = true;
-          break;
-        }
-      if (!fits) break;
+      u32 vc;
+      if (!in.best_fit_vc(cfg_.packet_size, vc)) break;
       place_packet(n, queue.front());
       queue.pop_front();
       --pending_total_;
     }
+    if (queue.empty()) {
+      node_in_worklist_[n] = 0;
+    } else {
+      active_nodes_[w++] = n;
+    }
   }
+  active_nodes_.resize(w);
 }
 
 void Network::run_watchdog() {
@@ -601,7 +694,7 @@ void Network::run_watchdog() {
 void Network::step() {
   deliver_events();
   policy_->tick(*this);
-  advance_transfers();
+  advance_transfers();  // also prunes + sorts the router worklist
   do_allocation();
   do_injection();
   if (now_ % kWatchdogPeriod == 0 && now_ != 0) run_watchdog();
@@ -669,6 +762,40 @@ bool Network::check_quiescent() const {
     if (!slot.empty()) return false;
   for (const auto& slot : credit_wheel_)
     if (!slot.empty()) return false;
+  return true;
+}
+
+bool Network::check_worklists() const {
+  // Router list: flags and list membership must agree, and every router
+  // with activity must be listed. (Routers that drained since the last
+  // refresh may legitimately linger until the next one.)
+  std::vector<u8> listed(routers_.size(), 0);
+  for (const RouterId r : active_routers_) {
+    if (r >= routers_.size() || listed[r]) return false;  // dup / bogus id
+    listed[r] = 1;
+  }
+  for (RouterId r = 0; r < routers_.size(); ++r) {
+    if (listed[r] != router_in_worklist_[r]) return false;
+    if (routers_[r].has_activity() && !listed[r]) return false;
+    // routable_heads must count exactly the (port, vc) heads the
+    // allocation scan could request for.
+    u32 heads = 0;
+    for (const InputPort& in : routers_[r].inputs)
+      for (VcId v = 0; v < in.vcs.size(); ++v)
+        if (in.has_head(v)) ++heads;
+    if (heads != routers_[r].routable_heads) return false;
+  }
+  // Node list: after do_injection's compaction it holds exactly the nodes
+  // with a non-empty source queue.
+  std::vector<u8> node_listed(pending_.size(), 0);
+  for (const NodeId n : active_nodes_) {
+    if (n >= pending_.size() || node_listed[n]) return false;
+    node_listed[n] = 1;
+  }
+  for (NodeId n = 0; n < pending_.size(); ++n) {
+    if (node_listed[n] != node_in_worklist_[n]) return false;
+    if (node_listed[n] != (pending_[n].empty() ? 0 : 1)) return false;
+  }
   return true;
 }
 

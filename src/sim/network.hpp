@@ -11,6 +11,14 @@
 //   5. traffic generation and injection-queue filling,
 //   6. periodic deadlock watchdog.
 //
+// Per-cycle work scales with *activity*, not topology size: phases 3-5 walk
+// incrementally-maintained worklists (routers holding packets or streaming
+// transfers; nodes with backlogged offers) instead of scanning every
+// router/node. The worklists are kept in ascending-id order, so the phase
+// loops visit exactly the routers a full ascending scan would have done
+// non-trivial work on — results are bit-identical to the full scan (see
+// DESIGN.md "Cycle kernel & performance" for the invariants).
+//
 // Timing conventions: a grant at cycle t streams phits at t+1..t+size; a
 // phit sent at cycle t is delivered at t + latency; the credit for a phit
 // leaving a FIFO at cycle t is usable upstream at t + latency.
@@ -140,6 +148,13 @@ class Network {
   /// must equal the downstream buffer capacity. O(network); test-only.
   bool check_flow_conservation() const;
 
+  /// Audit of the activity-worklist invariants (callable between steps):
+  /// membership flags match the lists exactly, every router with activity
+  /// is on the router worklist (the list may lag with idle routers until
+  /// the next refresh), and the pending-node list holds exactly the nodes
+  /// with a non-empty source queue. O(network); test-only.
+  bool check_worklists() const;
+
  private:
   struct PhitEvent {
     ChannelId ch;
@@ -168,6 +183,15 @@ class Network {
   void do_allocation();
   void do_injection();
   void run_watchdog();
+
+  // ---- activity worklists ----
+  /// Adds router r to the active worklist (idempotent). Called whenever a
+  /// packet enters one of r's input FIFOs; r leaves the list via the prune
+  /// pass fused into advance_transfers() once it holds no packet and
+  /// streams nothing.
+  void mark_router_active(RouterId r);
+  /// Adds node n to the pending-injection worklist (idempotent).
+  void mark_node_pending(NodeId n);
 
   /// Creates the packet object for an accepted injection.
   void place_packet(NodeId src, const Offer& offer);
@@ -199,6 +223,21 @@ class Network {
 
   std::vector<std::deque<Offer>> pending_;  // per node source queues
   u64 pending_total_ = 0;
+
+  // Activity worklists (see class comment). Invariants:
+  //  - router_in_worklist_[r] != 0  <=>  r appears in active_routers_;
+  //  - every router with Router::has_activity() is in the list (the list may
+  //    additionally hold routers that went idle since the last refresh);
+  //  - active_nodes_ holds exactly the nodes with a non-empty pending_
+  //    queue after each do_injection.
+  // The *_sorted_ flags let marks append out of order; the per-cycle
+  // refresh/drain re-sorts before any phase iterates.
+  std::vector<RouterId> active_routers_;
+  std::vector<u8> router_in_worklist_;
+  bool active_routers_sorted_ = true;
+  std::vector<NodeId> active_nodes_;
+  std::vector<u8> node_in_worklist_;
+  bool active_nodes_sorted_ = true;
 
   // Event wheels indexed by cycle % wheel size.
   std::vector<std::vector<PhitEvent>> phit_wheel_;

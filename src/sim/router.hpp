@@ -4,11 +4,20 @@
 // (downstream credit counters + at most one active packet transfer) per
 // port, plus the LRS arbiter state of its separable allocator. All per-cycle
 // orchestration lives in Network; Router is state + small queries.
+//
+// Storage layout: the per-VC state every hot scan touches — downstream
+// credit counters, FIFO metadata, head-busy flags — lives in contiguous
+// per-router pools (SoA); InputPort/OutputPort hold Span views into them.
+// The allocation and routing scans of one router therefore walk a handful
+// of flat arrays instead of chasing one heap vector per port. Pools are
+// sized once at construction (see Network / bind helpers below) and never
+// reallocate, which keeps the views valid for the router's lifetime.
 #pragma once
 
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/span.hpp"
 #include "common/types.hpp"
 #include "sim/arbiter.hpp"
 #include "sim/fifo.hpp"
@@ -17,8 +26,8 @@ namespace ofar {
 
 struct OutputPort {
   ChannelId channel = kInvalidChannel;  ///< invalid on unwired global ports
-  std::vector<u32> credits;             ///< per downstream VC, phits free
-  std::vector<u32> credit_cap;          ///< per downstream VC, buffer size
+  Span<u32> credits;                    ///< per downstream VC, phits free
+  Span<u32> credit_cap;                 ///< per downstream VC, buffer size
 
   // Active batch transfer (whole packet streams at 1 phit/cycle).
   PacketId active = kInvalidPacket;
@@ -70,11 +79,29 @@ struct OutputPort {
 
 struct InputPort {
   ChannelId in_channel = kInvalidChannel;  ///< invalid for injection ports
-  std::vector<VcFifo> vcs;
-  std::vector<u8> head_busy;  ///< per VC: head packet is mid-transfer
+  Span<VcFifo> vcs;
+  Span<u8> head_busy;  ///< per VC: head packet is mid-transfer
 
   bool has_head(VcId v) const noexcept {
     return !vcs[v].empty() && head_busy[v] == 0 && vcs[v].head_arrived() > 0;
+  }
+
+  /// Best-fit injection scan: the VC with the most free space that still
+  /// fits a whole `size`-phit packet. This is the single placement rule for
+  /// injection queues — the fits-probe (do_injection) and the placement
+  /// (try_inject / place_packet) both call it, so they can never diverge.
+  /// Returns false (out_vc = kInvalidIndex) when no VC fits.
+  bool best_fit_vc(u32 size, u32& out_vc) const noexcept {
+    u32 best_free = 0;
+    out_vc = kInvalidIndex;
+    for (u32 v = 0; v < vcs.size(); ++v) {
+      const u32 free = vcs[v].capacity() - vcs[v].stored_phits();
+      if (free >= size && free > best_free) {
+        best_free = free;
+        out_vc = v;
+      }
+    }
+    return out_vc != kInvalidIndex;
   }
 };
 
@@ -83,12 +110,25 @@ struct Router {
   std::vector<InputPort> inputs;
   std::vector<OutputPort> outputs;
 
+  // SoA pools backing the Span views of inputs/outputs, laid out port-major
+  // ([port0 vc0..vcN | port1 vc0..vcM | ...]). Sized exactly once (reserve +
+  // bind) so the views stay valid; see bind_input_pools / bind_credit_spans.
+  std::vector<VcFifo> fifo_pool;
+  std::vector<u8> head_busy_pool;
+  std::vector<u32> credit_pool;
+  std::vector<u32> credit_cap_pool;
+
   // Fast-path skip state maintained by Network: packets buffered in any
   // input FIFO of this router; per-input-port bitmask of non-empty VCs
   // (contiguous, so the allocation scan stays in one cache line per router);
-  // bitmask of output ports with an active transfer.
+  // bitmask of output ports with an active transfer. routable_heads counts
+  // the (port, vc) pairs whose head packet is present and not mid-transfer
+  // — exactly the candidates the allocation scan could request for — so
+  // do_allocation skips routers that are only streaming (a granted packet
+  // occupies its head for packet_size cycles with nothing to route).
   u32 buffered_packets = 0;
   u32 buffered_phits = 0;
+  u32 routable_heads = 0;
   u32 active_transfers = 0;
   u32 buffer_capacity_phits = 0;  ///< sum of all input-VC capacities
   bool throttled = false;         ///< congestion-throttle latch (hysteresis)
@@ -101,6 +141,41 @@ struct Router {
   std::vector<LrsArbiter> output_arb;  // candidates = input port indices
 
   u32 num_ports() const noexcept { return static_cast<u32>(inputs.size()); }
+
+  /// True when this router has any per-cycle work: a buffered packet to
+  /// route or an output streaming a transfer. The Network's activity
+  /// worklist contains exactly the routers for which this holds.
+  bool has_activity() const noexcept {
+    return buffered_packets > 0 || active_out_mask != 0;
+  }
+
+  /// Appends `count` FIFOs of `capacity` phits to the input pools and binds
+  /// `inputs[port]`'s views onto them. `fifo_pool` must have been reserved
+  /// to its final size beforehand (views would dangle across a realloc).
+  void bind_input_pool(PortId port, u32 count, u32 capacity) {
+    OFAR_DCHECK(fifo_pool.size() + count <= fifo_pool.capacity());
+    OFAR_DCHECK(head_busy_pool.size() + count <= head_busy_pool.capacity());
+    const std::size_t at = fifo_pool.size();
+    for (u32 v = 0; v < count; ++v) {
+      fifo_pool.emplace_back(capacity);
+      head_busy_pool.push_back(0);
+    }
+    inputs[port].vcs = Span<VcFifo>(fifo_pool.data() + at, count);
+    inputs[port].head_busy = Span<u8>(head_busy_pool.data() + at, count);
+  }
+
+  /// Appends `count` credit counters initialised to `value` and binds
+  /// `outputs[port]`'s views onto them. Same pre-reserve contract as above.
+  void bind_credit_span(PortId port, u32 count, u32 value) {
+    OFAR_DCHECK(credit_pool.size() + count <= credit_pool.capacity());
+    const std::size_t at = credit_pool.size();
+    for (u32 v = 0; v < count; ++v) {
+      credit_pool.push_back(value);
+      credit_cap_pool.push_back(value);
+    }
+    outputs[port].credits = Span<u32>(credit_pool.data() + at, count);
+    outputs[port].credit_cap = Span<u32>(credit_cap_pool.data() + at, count);
+  }
 };
 
 }  // namespace ofar

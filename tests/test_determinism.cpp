@@ -1,0 +1,209 @@
+// Determinism regression suite for the activity-driven cycle kernel.
+//
+// The kernel optimizations (activity worklists, SoA port state, the
+// blocked Bernoulli source, the routable-head allocation skip) are only
+// admissible because they leave per-seed behaviour bit-identical. This
+// suite pins that property three ways:
+//
+//  1. Golden stats: the four perf_core matrix points must reproduce stat
+//     digests captured from the pre-worklist full-scan implementation
+//     (seed commit) exactly — including latency accumulators compared as
+//     doubles with zero tolerance.
+//  2. Replay: the same config+seed run twice yields byte-identical stats.
+//  3. Thread-independence: run_load_sweep at 1 and 4 worker threads gives
+//     identical per-point results (each point owns its RNGs; threads only
+//     change scheduling).
+//
+// Plus structural invariants after a drain: flow conservation, quiescence,
+// and worklist consistency (Network::check_worklists).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/network.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/pattern.hpp"
+
+namespace ofar {
+namespace {
+
+SimConfig matrix_config() {
+  SimConfig cfg;
+  cfg.h = 4;
+  cfg.seed = 12345;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = RingKind::kPhysical;
+  return cfg;
+}
+
+/// Flattened stat digest; every field a golden constant can pin.
+struct Digest {
+  u64 generated, injected, delivered, delivered_phits;
+  double lat_sum, lat_sum_sq;
+  u64 local_mis, global_mis, ring_in, ring_out;
+  double mean_hops;
+  u64 max_hops;
+  bool drained;
+};
+
+Digest digest(const Network& net) {
+  const Stats& s = net.stats();
+  return {s.generated_packets(), s.injected_packets(), s.delivered_packets(),
+          s.delivered_phits(),   s.latency().sum,      s.latency().sum_sq,
+          s.local_misroutes(),   s.global_misroutes(), s.ring_entries(),
+          s.ring_exits(),        s.mean_hops(),        s.max_hops(),
+          net.drained()};
+}
+
+void expect_digest_eq(const Digest& a, const Digest& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.delivered_phits, b.delivered_phits);
+  // Bit-identical, not approximately equal: the accumulation order itself
+  // is part of the determinism contract.
+  EXPECT_EQ(a.lat_sum, b.lat_sum);
+  EXPECT_EQ(a.lat_sum_sq, b.lat_sum_sq);
+  EXPECT_EQ(a.local_mis, b.local_mis);
+  EXPECT_EQ(a.global_mis, b.global_mis);
+  EXPECT_EQ(a.ring_in, b.ring_in);
+  EXPECT_EQ(a.ring_out, b.ring_out);
+  EXPECT_EQ(a.mean_hops, b.mean_hops);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+  EXPECT_EQ(a.drained, b.drained);
+}
+
+/// perf_core's "low" points: burst at `load` until cycle 2000, then drain
+/// over a 40000-cycle horizon.
+Digest run_low(const TrafficPattern& pattern, Network* keep = nullptr) {
+  Network local(matrix_config());
+  Network& net = keep ? *keep : local;
+  std::vector<PhasedSource::Phase> phases(1);
+  phases[0].pattern = pattern;
+  phases[0].load_phits = 0.01;
+  phases[0].until = 2000;
+  net.set_traffic(std::make_unique<PhasedSource>(std::move(phases), 12345));
+  net.run(40000);
+  return digest(net);
+}
+
+/// perf_core's "sat" points: steady Bernoulli for 3000 cycles.
+Digest run_sat(const TrafficPattern& pattern, double load) {
+  Network net(matrix_config());
+  net.set_traffic(std::make_unique<BernoulliSource>(pattern, load, 12345));
+  net.run(3000);
+  return digest(net);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Golden stats captured from the seed (pre-worklist) implementation.
+//    Hex-float literals so the comparison is exact. Regenerate only if the
+//    simulation *semantics* intentionally change; a mismatch after a pure
+//    performance change means the optimization altered behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenStats, UniformLowBurstDrain) {
+  const Digest d = run_low(TrafficPattern::uniform());
+  expect_digest_eq(d, {2667, 2667, 2667, 21336, 0x1.4db28p+18,
+                       0x1.53af67p+25, 2, 0, 0, 0, 0x1.5c19b98b7877p+1, 4,
+                       true});
+}
+
+TEST(GoldenStats, AdversarialLowBurstDrain) {
+  const Digest d = run_low(TrafficPattern::adversarial(1));
+  expect_digest_eq(d, {2667, 2667, 2667, 21336, 0x1.6476p+18, 0x1.8722f1p+25,
+                       212, 98, 0, 0, 0x1.78b4751af8fe3p+1, 6, true});
+}
+
+TEST(GoldenStats, UniformSaturation) {
+  const Digest d = run_sat(TrafficPattern::uniform(), 1.0);
+  expect_digest_eq(d, {396316, 271080, 187507, 1500056, 0x1.168f1a4p+27,
+                       0x1.18208ca9cp+37, 159776, 27060, 12262, 9931,
+                       0x1.d37de6467d51cp+1, 32, false});
+}
+
+TEST(GoldenStats, AdversarialSaturation) {
+  const Digest d = run_sat(TrafficPattern::adversarial(1), 0.7);
+  expect_digest_eq(d, {277320, 184021, 92427, 739416, 0x1.9402fecp+26,
+                       0x1.199a89e638p+37, 142220, 147991, 14964, 10268,
+                       0x1.0a4501716b2b9p+2, 17, false});
+}
+
+// ---------------------------------------------------------------------------
+// 2. Replay: identical config+seed twice -> identical stats.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, SameSeedTwiceIsByteIdentical) {
+  const Digest a = run_sat(TrafficPattern::adversarial(1), 0.7);
+  const Digest b = run_sat(TrafficPattern::adversarial(1), 0.7);
+  expect_digest_eq(a, b);
+}
+
+TEST(Replay, DifferentSeedDiverges) {
+  SimConfig cfg = matrix_config();
+  Network a(cfg);
+  cfg.seed = 54321;
+  Network b(cfg);
+  a.set_traffic(std::make_unique<BernoulliSource>(TrafficPattern::uniform(),
+                                                  0.3, 12345));
+  b.set_traffic(std::make_unique<BernoulliSource>(TrafficPattern::uniform(),
+                                                  0.3, 54321));
+  a.run(3000);
+  b.run(3000);
+  EXPECT_NE(digest(a).lat_sum, digest(b).lat_sum);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Sweep results do not depend on the worker-thread count.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, SweepThreadCountDoesNotChangeResults) {
+  const SimConfig cfg = matrix_config();
+  const std::vector<double> loads = {0.05, 0.2};
+  RunParams params;
+  params.warmup = 500;
+  params.measure = 1000;
+  const auto one =
+      run_load_sweep(cfg, TrafficPattern::uniform(), loads, params, 1);
+  const auto four =
+      run_load_sweep(cfg, TrafficPattern::uniform(), loads, params, 4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].load, four[i].load);
+    EXPECT_EQ(one[i].result.delivered_packets, four[i].result.delivered_packets);
+    EXPECT_EQ(one[i].result.avg_latency, four[i].result.avg_latency);
+    EXPECT_EQ(one[i].result.accepted_load, four[i].result.accepted_load);
+    EXPECT_EQ(one[i].result.local_misroutes, four[i].result.local_misroutes);
+    EXPECT_EQ(one[i].result.global_misroutes,
+              four[i].result.global_misroutes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Structural invariants after a full drain.
+// ---------------------------------------------------------------------------
+
+TEST(Invariants, DrainedNetworkIsConsistent) {
+  Network net(matrix_config());
+  (void)run_low(TrafficPattern::uniform(), &net);
+  ASSERT_TRUE(net.drained());
+  EXPECT_TRUE(net.check_flow_conservation());
+  EXPECT_TRUE(net.check_quiescent());
+  EXPECT_TRUE(net.check_worklists());
+}
+
+TEST(Invariants, WorklistsConsistentMidFlight) {
+  Network net(matrix_config());
+  net.set_traffic(std::make_unique<BernoulliSource>(TrafficPattern::uniform(),
+                                                    0.3, 12345));
+  for (int chunk = 0; chunk < 20; ++chunk) {
+    net.run(100);
+    ASSERT_TRUE(net.check_flow_conservation());
+    ASSERT_TRUE(net.check_worklists());
+  }
+}
+
+}  // namespace
+}  // namespace ofar

@@ -155,9 +155,10 @@ Router make_router(u32 ports, u32 vcs) {
   r.inputs.resize(ports);
   r.outputs.resize(ports);
   r.input_mask.assign(ports, 0);
+  r.fifo_pool.reserve(static_cast<std::size_t>(ports) * vcs);
+  r.head_busy_pool.reserve(static_cast<std::size_t>(ports) * vcs);
   for (u32 p = 0; p < ports; ++p) {
-    r.inputs[p].vcs.assign(vcs, VcFifo(32));
-    r.inputs[p].head_busy.assign(vcs, 0);
+    r.bind_input_pool(static_cast<PortId>(p), vcs, 32);
     r.input_arb.emplace_back(vcs);
     r.output_arb.emplace_back(ports);
   }
@@ -264,27 +265,81 @@ TEST(SeparableAllocator, ScratchIsCleanAcrossRuns) {
 
 // ---------------------------------------------------------- output port ----
 
-TEST(OutputPort, BestVcPicksMostCredits) {
+// Standalone OutputPort with locally-owned credit arrays (the Span views
+// normally point into Router's pools; here the fixture is the pool).
+struct TestOutput {
+  std::vector<u32> credits_store;
+  std::vector<u32> cap_store;
   OutputPort out;
-  out.channel = 1;
-  out.credits = {5, 20, 11};
-  out.credit_cap = {32, 32, 32};
+
+  TestOutput(std::vector<u32> credits, std::vector<u32> caps)
+      : credits_store(std::move(credits)), cap_store(std::move(caps)) {
+    out.credits = Span<u32>(credits_store.data(),
+                            static_cast<u32>(credits_store.size()));
+    out.credit_cap =
+        Span<u32>(cap_store.data(), static_cast<u32>(cap_store.size()));
+  }
+};
+
+TEST(OutputPort, BestVcPicksMostCredits) {
+  TestOutput t({5, 20, 11}, {32, 32, 32});
+  t.out.channel = 1;
   VcId vc;
-  ASSERT_TRUE(out.best_vc(0, 3, 8, vc));
+  ASSERT_TRUE(t.out.best_vc(0, 3, 8, vc));
   EXPECT_EQ(vc, 1);
-  ASSERT_TRUE(out.best_vc(2, 1, 8, vc));  // restricted range
+  ASSERT_TRUE(t.out.best_vc(2, 1, 8, vc));  // restricted range
   EXPECT_EQ(vc, 2);
-  EXPECT_FALSE(out.best_vc(0, 1, 8, vc));  // vc0 has only 5 credits
+  EXPECT_FALSE(t.out.best_vc(0, 1, 8, vc));  // vc0 has only 5 credits
 }
 
 TEST(OutputPort, OccupancyFraction) {
-  OutputPort out;
-  out.credits = {16, 32};
-  out.credit_cap = {32, 32};
-  EXPECT_DOUBLE_EQ(out.occupancy(0, 2), 0.25);
-  EXPECT_DOUBLE_EQ(out.occupancy(0, 1), 0.5);
-  EXPECT_DOUBLE_EQ(out.occupancy(1, 1), 0.0);
-  EXPECT_EQ(out.queued_phits(0, 2), 16u);
+  TestOutput t({16, 32}, {32, 32});
+  EXPECT_DOUBLE_EQ(t.out.occupancy(0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(t.out.occupancy(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(t.out.occupancy(1, 1), 0.0);
+  EXPECT_EQ(t.out.queued_phits(0, 2), 16u);
+}
+
+// ----------------------------------------------------------- input port ----
+
+TEST(InputPort, BestFitVcPrefersEmptiestFittingVc) {
+  Router r = make_router(1, 3);  // three VCs of capacity 32
+  InputPort& in = r.inputs[0];
+  in.vcs[0].push_whole_packet(1, 28);  // 4 free: cannot fit an 8-phit packet
+  in.vcs[2].push_whole_packet(2, 8);   // 24 free
+  u32 vc;
+  ASSERT_TRUE(in.best_fit_vc(8, vc));
+  EXPECT_EQ(vc, 1u);  // 32 free beats 24 free
+  in.vcs[1].push_whole_packet(3, 16);  // now 16 free < vc2's 24
+  ASSERT_TRUE(in.best_fit_vc(8, vc));
+  EXPECT_EQ(vc, 2u);
+}
+
+TEST(InputPort, BestFitVcFailsWhenFull) {
+  Router r = make_router(1, 2);
+  InputPort& in = r.inputs[0];
+  in.vcs[0].push_whole_packet(1, 30);
+  in.vcs[1].push_whole_packet(2, 26);
+  u32 vc;
+  EXPECT_FALSE(in.best_fit_vc(8, vc));  // 2 and 6 phits free
+  EXPECT_EQ(vc, kInvalidIndex);
+  EXPECT_TRUE(in.best_fit_vc(6, vc));  // exact fit qualifies
+  EXPECT_EQ(vc, 1u);
+}
+
+// ------------------------------------------------------------ SoA pools ----
+
+TEST(Router, PoolBindingIsContiguousAndPortMajor) {
+  Router r = make_router(3, 2);
+  ASSERT_EQ(r.fifo_pool.size(), 6u);
+  for (u32 p = 0; p < 3; ++p) {
+    EXPECT_EQ(r.inputs[p].vcs.data(), r.fifo_pool.data() + p * 2);
+    EXPECT_EQ(r.inputs[p].head_busy.data(), r.head_busy_pool.data() + p * 2);
+    EXPECT_EQ(r.inputs[p].vcs.size(), 2u);
+  }
+  // Writes through the views land in the pool (and vice versa).
+  r.inputs[1].head_busy[1] = 1;
+  EXPECT_EQ(r.head_busy_pool[3], 1u);
 }
 
 }  // namespace
