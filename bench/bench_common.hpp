@@ -9,10 +9,14 @@
 //   --measure C     measurement window width
 //   --csv-dir D     directory for CSV dumps ("" disables)
 //   --threads T     sweep worker threads (0 = hardware concurrency)
+//   --metrics-out F       stream telemetry records to F (.jsonl or .csv)
+//   --metrics-interval C  cycles between interval snapshots (default 1000)
+//   --metrics-full        also dump per-channel / per-VC records
 #pragma once
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +25,7 @@
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "stats/sink.hpp"
 #include "traffic/pattern.hpp"
 
 namespace ofar::bench {
@@ -36,6 +41,14 @@ struct BenchOptions {
   std::string csv_dir;
   unsigned threads = 0;
 
+  // Telemetry sink shared by every simulation this bench runs (thread-safe;
+  // parallel sweep points interleave whole records). Null when --metrics-out
+  // was not given. `run.metrics_sink` is wired by the figure drivers per
+  // mechanism so each record carries the mechanism label.
+  std::shared_ptr<MetricsSink> metrics;
+  Cycle metrics_interval = 1'000;
+  bool metrics_full = false;
+
   static BenchOptions parse(const CommandLine& cli, Cycle warmup_default,
                             Cycle measure_default) {
     BenchOptions o;
@@ -45,6 +58,18 @@ struct BenchOptions {
     o.run.measure = cli.get_uint("measure", measure_default);
     o.csv_dir = cli.get_string("csv-dir", ".");
     o.threads = static_cast<unsigned>(cli.get_uint("threads", 0));
+    const std::string metrics_out = cli.get_string("metrics-out", "");
+    o.metrics_interval = cli.get_uint("metrics-interval", 1'000);
+    o.metrics_full = cli.get_flag("metrics-full");
+    if (!metrics_out.empty()) {
+      o.metrics = MetricsSink::open(metrics_out);
+      if (o.metrics == nullptr)
+        std::fprintf(stderr, "warning: could not open %s; telemetry disabled\n",
+                     metrics_out.c_str());
+    }
+    o.run.metrics_sink = o.metrics.get();
+    o.run.metrics_interval = o.metrics_interval;
+    o.run.metrics_full = o.metrics_full;
     return o;
   }
 
@@ -112,7 +137,9 @@ inline void steady_figure(const std::string& figure, const std::string& title,
   std::vector<std::function<void()>> jobs;
   for (std::size_t m = 0; m < specs.size(); ++m) {
     jobs.emplace_back([&, m] {
-      results[m] = run_load_sweep(specs[m].cfg, pattern, loads, opts.run,
+      RunParams run = opts.run;
+      run.metrics_label = specs[m].label;  // records name their mechanism
+      results[m] = run_load_sweep(specs[m].cfg, pattern, loads, run,
                                   /*threads=*/1);
     });
   }

@@ -58,8 +58,13 @@ int main(int argc, char** argv) {
     std::vector<std::function<void()>> jobs;
     for (std::size_t m = 0; m < mechanisms.size(); ++m) {
       jobs.emplace_back([&, m] {
+        TransientParams p = params;
+        p.metrics_sink = opts.metrics.get();
+        p.metrics_interval = opts.metrics_interval;
+        p.metrics_full = opts.metrics_full;
+        p.metrics_label = std::string(tr.name) + "|" + mechanisms[m].first;
         results[m] = run_transient(opts.config(mechanisms[m].second), tr.a,
-                                   tr.load, tr.b, tr.load, params);
+                                   tr.load, tr.b, tr.load, p);
       });
     }
     run_parallel(jobs, opts.threads);

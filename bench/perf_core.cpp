@@ -29,11 +29,20 @@
 
 #include "bench_common.hpp"
 #include "sim/network.hpp"
+#include "stats/sink.hpp"
 #include "traffic/generator.hpp"
 
 namespace {
 
 using namespace ofar;
+
+/// --metrics-out/--metrics-interval: optional telemetry for the measured
+/// window. perf_core's committed baseline is produced WITHOUT these flags;
+/// with them the same binary doubles as the overhead gauge.
+struct MetricsOptions {
+  MetricsSink* sink = nullptr;
+  Cycle interval = 1'000;
+};
 
 struct PointSpec {
   const char* name;
@@ -67,8 +76,16 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// One fresh-network run of a matrix point. Only the measured window is
 /// timed; phits/sec counts deliveries inside that window, while the packet
 /// counters report run totals (both are per-seed deterministic).
-PointResult run_point(const SimConfig& cfg, const PointSpec& spec) {
+PointResult run_point(const SimConfig& cfg, const PointSpec& spec,
+                      const MetricsOptions& metrics) {
   Network net(cfg);
+  if (metrics.sink != nullptr) {
+    TelemetryConfig tc;
+    tc.sink = metrics.sink;
+    tc.interval = metrics.interval;
+    tc.label = spec.name;
+    net.enable_telemetry(tc);
+  }
   if (spec.transient) {
     std::vector<PhasedSource::Phase> phases(1);
     phases[0].pattern = spec.pattern;
@@ -98,6 +115,7 @@ PointResult run_point(const SimConfig& cfg, const PointSpec& spec) {
   r.local_misroutes = net.stats().local_misroutes();
   r.global_misroutes = net.stats().global_misroutes();
   r.drained = net.drained();
+  if (net.telemetry() != nullptr) net.telemetry()->write_summary(net);
   return r;
 }
 
@@ -144,7 +162,20 @@ int main(int argc, char** argv) {
   const u64 seed = cli.get_uint("seed", 12345);
   const u32 repeats = static_cast<u32>(cli.get_uint("repeats", 2));
   const std::string out = cli.get_string("out", "BENCH_core.json");
+  const std::string only = cli.get_string("only", "");
+  const std::string metrics_out = cli.get_string("metrics-out", "");
+  MetricsOptions metrics;
+  metrics.interval = cli.get_uint("metrics-interval", 1'000);
   if (!reject_unknown(cli)) return 1;
+  std::unique_ptr<MetricsSink> metrics_sink;
+  if (!metrics_out.empty()) {
+    metrics_sink = MetricsSink::open(metrics_out);
+    if (metrics_sink == nullptr) {
+      std::fprintf(stderr, "perf_core: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    metrics.sink = metrics_sink.get();
+  }
 
   SimConfig cfg;
   cfg.h = h;
@@ -183,6 +214,17 @@ int main(int argc, char** argv) {
     p.load = 0.7;
     matrix.push_back(p);
   }
+  // --only SUBSTR: restrict the matrix (quick overhead checks, CI gates).
+  if (!only.empty()) {
+    std::erase_if(matrix, [&](const PointSpec& p) {
+      return std::string(p.name).find(only) == std::string::npos;
+    });
+    if (matrix.empty()) {
+      std::fprintf(stderr, "perf_core: --only %s matches no point\n",
+                   only.c_str());
+      return 1;
+    }
+  }
 
   std::printf("perf_core: h=%u seed=%llu repeats=%u (%s build)\n", h,
               static_cast<unsigned long long>(seed), repeats,
@@ -196,7 +238,7 @@ int main(int argc, char** argv) {
   std::vector<PointResult> best(matrix.size());
   for (std::size_t i = 0; i < matrix.size(); ++i) {
     for (u32 rep = 0; rep < repeats; ++rep) {
-      const PointResult r = run_point(cfg, matrix[i]);
+      const PointResult r = run_point(cfg, matrix[i], metrics);
       if (rep == 0 || r.wall_seconds < best[i].wall_seconds) best[i] = r;
     }
     std::printf(

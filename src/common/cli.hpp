@@ -26,6 +26,9 @@ class CommandLine {
   u64 get_uint(const std::string& key, u64 fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+  /// Presence-style boolean: true when `--key` (or `--key=true`) was given,
+  /// false when absent or `--key=false`.
+  bool get_flag(const std::string& key) const { return get_bool(key, false); }
 
   /// Keys that were supplied but never queried; call after all get_* calls
   /// to detect typos. Returns the unused keys.

@@ -1,21 +1,54 @@
 #include "core/experiment.hpp"
 
+#include <cstdio>
 #include <memory>
 
 #include "common/parallel.hpp"
 #include "sim/network.hpp"
+#include "stats/sink.hpp"
 #include "traffic/generator.hpp"
 
 namespace ofar {
+
+namespace {
+
+/// Telemetry config for one run: sink/interval/full from the params plus a
+/// per-run label ("<label>|<suffix>", either part optional).
+TelemetryConfig make_telemetry_config(MetricsSink* sink, Cycle interval,
+                                      bool full, const std::string& label,
+                                      const std::string& suffix) {
+  TelemetryConfig tc;
+  tc.sink = sink;
+  tc.interval = interval;
+  tc.full_dump = full;
+  if (label.empty()) {
+    tc.label = suffix;
+  } else if (suffix.empty()) {
+    tc.label = label;
+  } else {
+    tc.label = label + "|" + suffix;
+  }
+  return tc;
+}
+
+}  // namespace
 
 SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
                         double load, const RunParams& params) {
   Network net(cfg);
   net.set_traffic(
       std::make_unique<BernoulliSource>(pattern, load, cfg.seed));
+  if (params.metrics_sink != nullptr) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, "load=%g", load);
+    net.enable_telemetry(make_telemetry_config(
+        params.metrics_sink, params.metrics_interval, params.metrics_full,
+        params.metrics_label, suffix));
+  }
   net.run(params.warmup);
   net.stats().reset(net.now());
   net.run(params.measure);
+  if (net.telemetry() != nullptr) net.telemetry()->write_summary(net);
 
   const Stats& s = net.stats();
   SteadyResult out;
@@ -60,12 +93,18 @@ TransientResult run_transient(const SimConfig& cfg,
   phases.push_back({pattern_b, load_b, /*until=*/0,
                     static_cast<u16>(pattern_a.components().size())});
   net.set_traffic(std::make_unique<PhasedSource>(std::move(phases), cfg.seed));
+  if (params.metrics_sink != nullptr) {
+    net.enable_telemetry(make_telemetry_config(
+        params.metrics_sink, params.metrics_interval, params.metrics_full,
+        params.metrics_label, ""));
+  }
 
   const Cycle series_start = switch_at > params.lead ? switch_at - params.lead
                                                      : 0;
   net.stats().enable_timeseries(series_start, params.lead + params.horizon,
                                 params.bucket);
   net.run(switch_at + params.horizon + params.drain);
+  if (net.telemetry() != nullptr) net.telemetry()->write_summary(net);
 
   TransientResult out;
   const TimeSeries* ts = net.stats().series();

@@ -9,6 +9,7 @@
 //    measuring the cycle the network drains (Fig. 7).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -16,9 +17,20 @@
 
 namespace ofar {
 
+class MetricsSink;
+
 struct RunParams {
   Cycle warmup = 20'000;
   Cycle measure = 30'000;
+
+  // ---- optional telemetry (stats/metrics.hpp); active when sink != null.
+  // The sink is shared, not owned: a sweep points every run at one file and
+  // each record carries `metrics_label` (plus a "load=" suffix) to tell the
+  // runs apart.
+  MetricsSink* metrics_sink = nullptr;
+  Cycle metrics_interval = 1'000;
+  std::string metrics_label;
+  bool metrics_full = false;
 };
 
 struct SteadyResult {
@@ -57,6 +69,13 @@ struct TransientParams {
   Cycle lead = 2'000;         ///< observed span before the switch
   Cycle drain = 30'000;       ///< extra cycles so late packets deliver
   u32 bucket = 100;           ///< series bucket width, cycles
+
+  // ---- optional telemetry, as in RunParams. Interval snapshots span the
+  // whole run including the pattern-switch window.
+  MetricsSink* metrics_sink = nullptr;
+  Cycle metrics_interval = 1'000;
+  std::string metrics_label;
+  bool metrics_full = false;
 };
 
 struct TransientBucket {

@@ -537,7 +537,11 @@ void Network::do_allocation() {
         Packet& pkt = pool_.get(in.vcs[vc].head());
         const RouteChoice choice =
             policy_->route(*this, r.id, port, vc, pkt);
-        if (!choice.valid) continue;
+        if (!choice.valid) {
+          // No grantable output this cycle (busy or out of credits).
+          if (telem_) telem_->note_credit_stall(r.id, port, vc);
+          continue;
+        }
         OFAR_DCHECK(!r.outputs[choice.out_port].busy());
         OFAR_DCHECK(r.outputs[choice.out_port].credits[choice.out_vc] >=
                     cfg_.packet_size);
@@ -547,8 +551,13 @@ void Network::do_allocation() {
     }
     if (reqs_scratch_.empty()) continue;
     alloc_->run(r, reqs_scratch_, cfg_.allocator_iterations, now_);
-    for (const AllocRequest& rq : reqs_scratch_)
-      if (rq.granted) commit_grant(r, rq);
+    for (const AllocRequest& rq : reqs_scratch_) {
+      if (rq.granted) {
+        commit_grant(r, rq);
+      } else if (telem_) {
+        telem_->note_alloc_stall(r.id, rq.in_port, rq.in_vc);
+      }
+    }
   }
 }
 
@@ -576,7 +585,8 @@ void Network::commit_grant(Router& r, const AllocRequest& rq) {
       rq.choice.enter_ring || (pkt.in_ring && !rq.choice.exit_ring);
   if (rq.choice.enter_ring) {
     pkt.in_ring = true;
-    stats_.on_ring_enter();
+    stats_.on_ring_enter(!pkt.ring_entered);
+    pkt.ring_entered = true;
   } else if (rq.choice.exit_ring) {
     pkt.in_ring = false;
     ++pkt.ring_exits;
@@ -689,9 +699,14 @@ void Network::run_watchdog() {
     if (wait > cfg_.deadlock_timeout) ++stalled;
   });
   stats_.on_watchdog(stalled, worst);
+  if (telem_ && stalled > 0) telem_->on_watchdog_trip(*this, stalled, worst);
 }
 
 void Network::step() {
+  if (telem_ != nullptr) {
+    step_instrumented();
+    return;
+  }
   deliver_events();
   policy_->tick(*this);
   advance_transfers();  // also prunes + sorts the router worklist
@@ -699,6 +714,33 @@ void Network::step() {
   do_injection();
   if (now_ % kWatchdogPeriod == 0 && now_ != 0) run_watchdog();
   ++now_;
+}
+
+void Network::step_instrumented() {
+  PhaseProfiler& prof = telem_->profiler();
+  prof.start_cycle(now_);
+  deliver_events();
+  prof.phase_done(SimPhase::kEventDelivery);
+  policy_->tick(*this);
+  prof.phase_done(SimPhase::kPolicyTick);
+  advance_transfers();
+  prof.phase_done(SimPhase::kTransfers);
+  do_allocation();
+  prof.phase_done(SimPhase::kAllocation);
+  do_injection();
+  prof.phase_done(SimPhase::kInjection);
+  const bool watchdog = now_ % kWatchdogPeriod == 0 && now_ != 0;
+  if (watchdog) {
+    run_watchdog();
+    prof.phase_done(SimPhase::kWatchdog);
+  }
+  prof.end_cycle(watchdog);
+  ++now_;
+  telem_->maybe_sample(*this, now_);
+}
+
+void Network::enable_telemetry(const TelemetryConfig& tcfg) {
+  telem_ = std::make_unique<Telemetry>(*this, tcfg);
 }
 
 void Network::run(u64 cycles) {

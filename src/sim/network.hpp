@@ -37,6 +37,7 @@
 #include "sim/channel.hpp"
 #include "sim/packet_pool.hpp"
 #include "sim/router.hpp"
+#include "stats/metrics.hpp"
 #include "stats/stats.hpp"
 #include "topology/dragonfly.hpp"
 #include "topology/hamiltonian.hpp"
@@ -98,10 +99,29 @@ class Network {
   const Channel& channel(ChannelId c) const { return channels_[c]; }
   std::size_t num_channels() const noexcept { return channels_.size(); }
   PacketPool& packets() noexcept { return pool_; }
+  const PacketPool& packets() const noexcept { return pool_; }
   Rng& rng() noexcept { return rng_; }
   Stats& stats() noexcept { return stats_; }
   const Stats& stats() const noexcept { return stats_; }
   RoutingPolicy& policy() noexcept { return *policy_; }
+
+  // ---- activity queries (telemetry) ----
+  std::size_t active_router_count() const noexcept {
+    return active_routers_.size();
+  }
+  std::size_t active_node_count() const noexcept {
+    return active_nodes_.size();
+  }
+  /// Offers queued in node source queues, not yet injected.
+  u64 pending_offers() const noexcept { return pending_total_; }
+
+  /// Enables the opt-in telemetry layer (see stats/metrics.hpp). Replaces
+  /// any previous instance; the interval clock starts at the current cycle.
+  /// Telemetry is read-only instrumentation: enabling it changes no
+  /// simulation outcome and consumes no RNG draws.
+  void enable_telemetry(const TelemetryConfig& tcfg);
+  Telemetry* telemetry() noexcept { return telem_.get(); }
+  const Telemetry* telemetry() const noexcept { return telem_.get(); }
 
   // ---- per-port structure queries (used by routing policies) ----
   /// VC range a non-escape packet may use on output port `port`.
@@ -183,6 +203,9 @@ class Network {
   void do_allocation();
   void do_injection();
   void run_watchdog();
+  /// step() with the phase profiler wrapped around each phase; selected by
+  /// a single telem_ null test so the plain path stays instrumentation-free.
+  void step_instrumented();
 
   // ---- activity worklists ----
   /// Adds router r to the active worklist (idempotent). Called whenever a
@@ -249,6 +272,10 @@ class Network {
   // Scratch buffers reused across cycles.
   std::unique_ptr<SeparableAllocator> alloc_;
   std::vector<AllocRequest> reqs_scratch_;
+
+  // Opt-in telemetry. Declared last: ~Telemetry may stream a run-end
+  // summary that reads the members above, so it must be destroyed first.
+  std::unique_ptr<Telemetry> telem_;
 };
 
 }  // namespace ofar

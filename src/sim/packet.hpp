@@ -48,6 +48,7 @@ struct Packet {
 
   // ---- escape-ring state (paper §IV-C) ----
   bool in_ring = false;
+  bool ring_entered = false;  ///< ever entered the ring (distinct-packet stats)
   u8 ring_exits = 0;  ///< times the packet abandoned the ring (livelock cap)
 };
 

@@ -1,0 +1,683 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+
+#include "sim/network.hpp"
+#include "stats/sink.hpp"
+
+namespace ofar {
+
+const char* to_string(SimPhase p) noexcept {
+  switch (p) {
+    case SimPhase::kEventDelivery: return "event_delivery";
+    case SimPhase::kPolicyTick: return "policy_tick";
+    case SimPhase::kTransfers: return "transfers";
+    case SimPhase::kAllocation: return "allocation";
+    case SimPhase::kInjection: return "injection";
+    case SimPhase::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr SimPhase kAllPhases[kNumSimPhases] = {
+    SimPhase::kEventDelivery, SimPhase::kPolicyTick, SimPhase::kTransfers,
+    SimPhase::kAllocation,    SimPhase::kInjection,  SimPhase::kWatchdog,
+};
+
+}  // namespace
+
+Telemetry::Telemetry(const Network& net, TelemetryConfig cfg)
+    : cfg_(std::move(cfg)), net_(&net), prof_(cfg_.phase_sample_period) {
+  OFAR_CHECK_MSG(cfg_.interval > 0, "telemetry interval must be positive");
+  const Dragonfly& topo = net.topo();
+  ports_ = topo.ports_per_router();
+
+  // Flat per-VC index space: vc_base_[r*ports_+p] is the base of the VCs of
+  // input port p of router r; the final entry holds the total VC count.
+  vc_base_.assign(static_cast<std::size_t>(topo.routers()) * ports_ + 1, 0);
+  u32 total_vcs = 0;
+  for (RouterId r = 0; r < topo.routers(); ++r) {
+    const Router& router = net.router(r);
+    for (PortId p = 0; p < ports_; ++p) {
+      vc_base_[static_cast<std::size_t>(r) * ports_ + p] = total_vcs;
+      total_vcs += static_cast<u32>(router.inputs[p].vcs.size());
+    }
+  }
+  vc_base_.back() = total_vcs;
+  vc_credit_stall_.assign(total_vcs, 0);
+  vc_alloc_stall_.assign(total_vcs, 0);
+
+  prev_phits_.assign(net.num_channels(), 0);
+  for (ChannelId c = 0; c < net.num_channels(); ++c)
+    prev_phits_[c] = net.channel(c).phits_carried;
+
+  last_sample_cycle_ = net.now();
+  next_sample_ = net.now() + cfg_.interval;
+  define_metrics();
+}
+
+Telemetry::~Telemetry() {
+  // Safety net for drivers that never call write_summary explicitly; the
+  // Network declares its Telemetry last, so `net_` is still fully alive.
+  if (!summary_written_ && cfg_.sink != nullptr && net_ != nullptr)
+    write_summary(*net_);
+}
+
+void Telemetry::define_metrics() {
+  auto gauge = [this](const char* n, const char* u) {
+    return reg_.define(n, u, MetricKind::kGauge);
+  };
+  auto counter = [this](const char* n, const char* u) {
+    return reg_.define(n, u, MetricKind::kCounter);
+  };
+
+  id_cycle_ = counter("sim.cycle", "cycles");
+  id_interval_ = gauge("sim.interval_cycles", "cycles");
+  id_live_ = gauge("packets.live", "packets");
+  id_pending_ = gauge("packets.pending_offers", "packets");
+  id_generated_ = counter("packets.generated", "packets");
+  id_delivered_ = counter("packets.delivered", "packets");
+  id_latency_mean_ = gauge("latency.mean", "cycles");
+  id_util_local_ = gauge("link.util.local", "fraction");
+  id_util_global_ = gauge("link.util.global", "fraction");
+  id_util_ring_ = gauge("link.util.ring", "fraction");
+  id_util_max_ = gauge("link.util.max", "fraction");
+  id_vc_occ_mean_ = gauge("vc.occupancy.mean", "fraction");
+  id_vc_occ_max_ = gauge("vc.occupancy.max", "fraction");
+  id_ring_occ_ = gauge("ring.occupancy", "packets");
+  id_ring_entries_ = counter("ring.entries", "events");
+  id_ring_reentries_ = counter("ring.reentries", "events");
+  id_mis_local_ = counter("misroute.local", "events");
+  id_mis_global_ = counter("misroute.global", "events");
+  id_stall_credit_ = counter("stall.credit_cycles", "head-cycles");
+  id_stall_alloc_ = counter("stall.alloc_cycles", "head-cycles");
+  id_wl_routers_ = gauge("worklist.routers", "routers");
+  id_wl_nodes_ = gauge("worklist.nodes", "nodes");
+  id_throttled_ = gauge("throttled.routers", "routers");
+  id_wd_stalled_ = gauge("watchdog.stalled", "packets");
+  id_wd_worst_ = gauge("watchdog.worst_stall", "cycles");
+  for (u32 i = 0; i < kNumSimPhases; ++i) {
+    const std::string base = std::string("phase.") + to_string(kAllPhases[i]);
+    id_phase_secs_[i] =
+        reg_.define(base + ".seconds", "seconds", MetricKind::kCounter);
+    id_phase_calls_[i] =
+        reg_.define(base + ".invocations", "calls", MetricKind::kCounter);
+  }
+}
+
+void Telemetry::sample(const Network& net, Cycle now) {
+  const Cycle width = now - last_sample_cycle_;
+  last_sample_cycle_ = now;
+  ++samples_;
+
+  const Stats& st = net.stats();
+  reg_.set(id_cycle_, static_cast<double>(now));
+  reg_.set(id_interval_, static_cast<double>(width));
+  reg_.set(id_live_, static_cast<double>(net.packets().live_count()));
+  reg_.set(id_pending_, static_cast<double>(net.pending_offers()));
+  reg_.set(id_generated_, static_cast<double>(st.generated_packets()));
+  reg_.set(id_delivered_, static_cast<double>(st.delivered_packets()));
+  reg_.set(id_latency_mean_, st.latency().mean());
+
+  // Quiescence fast path: when the network held zero packets at both ends
+  // of the interval and none was generated in between, no phit can have
+  // moved and every buffer is empty — all scan results are structurally
+  // zero and prev_phits_ is already current, so the O(network) sweeps are
+  // skipped. Keeps sampling cost proportional to activity, matching the
+  // kernel's worklist philosophy (drain tails sample at ~zero cost).
+  const bool idle =
+      net.packets().live_count() == 0 && net.pending_offers() == 0;
+  const bool quiescent = idle && prev_sample_idle_ &&
+                         st.generated_packets() == prev_sample_generated_ &&
+                         !(cfg_.full_dump && cfg_.sink != nullptr);
+  prev_sample_idle_ = idle;
+  prev_sample_generated_ = st.generated_packets();
+  if (quiescent) {
+    reg_.set(id_util_local_, 0.0);
+    reg_.set(id_util_global_, 0.0);
+    reg_.set(id_util_ring_, 0.0);
+    reg_.set(id_util_max_, 0.0);
+    reg_.set(id_vc_occ_mean_, 0.0);
+    reg_.set(id_vc_occ_max_, 0.0);
+    reg_.set(id_ring_occ_, 0.0);
+    hot_ = Hot{};
+    hot_.channel = kInvalidChannel;
+    // id_throttled_ keeps its previous value: an idle router runs no phase,
+    // so its throttle latch cannot have changed since the last sample.
+    sample_tail(net, st, now, width);
+    return;
+  }
+
+  // ---- link utilisation: phits carried since the previous sample ----
+  delta_scratch_.assign(net.num_channels(), 0);
+  u64 class_phits[5] = {};
+  u32 class_links[5] = {};
+  hot_.channel = kInvalidChannel;
+  hot_.link_util = 0.0;
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    const Channel& ch = net.channel(c);
+    const u64 d = ch.phits_carried - prev_phits_[c];
+    prev_phits_[c] = ch.phits_carried;
+    delta_scratch_[c] = d;
+    const u32 k = static_cast<u32>(ch.cls);
+    class_phits[k] += d;
+    ++class_links[k];
+    if (ch.is_ejection()) continue;
+    const double util =
+        width == 0 ? 0.0 : static_cast<double>(d) / static_cast<double>(width);
+    if (hot_.channel == kInvalidChannel || util > hot_.link_util) {
+      hot_.channel = c;
+      hot_.link_util = util;
+    }
+  }
+  const auto class_util = [width](u64 phits, u32 links) {
+    if (width == 0 || links == 0) return 0.0;
+    return static_cast<double>(phits) /
+           (static_cast<double>(links) * static_cast<double>(width));
+  };
+  const u32 kL = static_cast<u32>(ChannelClass::kLocal);
+  const u32 kG = static_cast<u32>(ChannelClass::kGlobal);
+  const u32 kRl = static_cast<u32>(ChannelClass::kRingLocal);
+  const u32 kRg = static_cast<u32>(ChannelClass::kRingGlobal);
+  reg_.set(id_util_local_, class_util(class_phits[kL], class_links[kL]));
+  reg_.set(id_util_global_, class_util(class_phits[kG], class_links[kG]));
+  reg_.set(id_util_ring_, class_util(class_phits[kRl] + class_phits[kRg],
+                                     class_links[kRl] + class_links[kRg]));
+  reg_.set(id_util_max_, hot_.link_util);
+
+  // ---- per-VC buffer occupancy + throttle latches ----
+  double occ_sum = 0.0;
+  u64 occ_n = 0;
+  u32 throttled = 0;
+  hot_.vc_occ = 0.0;
+  hot_.vc_router = 0;
+  hot_.vc_port = 0;
+  hot_.vc_vc = 0;
+  for (RouterId r = 0; r < net.topo().routers(); ++r) {
+    const Router& router = net.router(r);
+    if (router.throttled) ++throttled;
+    for (PortId p = 0; p < ports_; ++p) {
+      const InputPort& in = router.inputs[p];
+      for (u32 v = 0; v < in.vcs.size(); ++v) {
+        const u32 cap = in.vcs[v].capacity();
+        if (cap == 0) continue;
+        const double occ = static_cast<double>(in.vcs[v].stored_phits()) /
+                           static_cast<double>(cap);
+        occ_sum += occ;
+        ++occ_n;
+        if (occ > hot_.vc_occ) {
+          hot_.vc_occ = occ;
+          hot_.vc_router = r;
+          hot_.vc_port = p;
+          hot_.vc_vc = static_cast<VcId>(v);
+        }
+      }
+    }
+  }
+  reg_.set(id_vc_occ_mean_, occ_n == 0 ? 0.0 : occ_sum / occ_n);
+  reg_.set(id_vc_occ_max_, hot_.vc_occ);
+  reg_.set(id_throttled_, throttled);
+
+  // ---- escape-ring pressure ----
+  u64 in_ring = 0;
+  net.packets().for_each_live([&](PacketId, const Packet& pkt) {
+    if (pkt.in_ring) ++in_ring;
+  });
+  reg_.set(id_ring_occ_, static_cast<double>(in_ring));
+
+  sample_tail(net, st, now, width);
+}
+
+/// Activity-independent remainder of a sample: counter mirrors, phase
+/// estimates, and record emission. Shared by the full and quiescent paths.
+void Telemetry::sample_tail(const Network& net, const Stats& st, Cycle now,
+                            Cycle width) {
+  reg_.set(id_ring_entries_, static_cast<double>(st.ring_entries()));
+  reg_.set(id_ring_reentries_, static_cast<double>(st.ring_reentries()));
+  reg_.set(id_mis_local_, static_cast<double>(st.local_misroutes()));
+  reg_.set(id_mis_global_, static_cast<double>(st.global_misroutes()));
+
+  reg_.set(id_stall_credit_, static_cast<double>(credit_stall_total_));
+  reg_.set(id_stall_alloc_, static_cast<double>(alloc_stall_total_));
+  reg_.set(id_wl_routers_, static_cast<double>(net.active_router_count()));
+  reg_.set(id_wl_nodes_, static_cast<double>(net.active_node_count()));
+  reg_.set(id_wd_stalled_, static_cast<double>(st.stalled_packets()));
+  reg_.set(id_wd_worst_, static_cast<double>(st.worst_stall()));
+
+  for (u32 i = 0; i < kNumSimPhases; ++i) {
+    reg_.set(id_phase_secs_[i], prof_.estimated_total_seconds(kAllPhases[i]));
+    reg_.set(id_phase_calls_[i],
+             static_cast<double>(prof_.invocations(kAllPhases[i])));
+  }
+
+  if (cfg_.sink != nullptr) {
+    emit_interval(net, now, width);
+    if (cfg_.full_dump) emit_full_dump(net, now, width);
+  }
+}
+
+void Telemetry::emit_interval(const Network& net, Cycle now, Cycle width) {
+  MetricsSink& sink = *cfg_.sink;
+  if (sink.format() == MetricsSink::Format::kCsv) {
+    for (MetricsRegistry::Id i = 0; i < reg_.size(); ++i)
+      sink.write_csv_row(cfg_.label, "interval", now, reg_.def(i).name,
+                         reg_.value(i));
+    if (hot_.channel != kInvalidChannel) {
+      sink.write_csv_row(cfg_.label, "interval", now, "hot_link.channel",
+                         static_cast<double>(hot_.channel));
+      sink.write_csv_row(cfg_.label, "interval", now, "hot_link.util",
+                         hot_.link_util);
+    }
+    sink.write_csv_row(cfg_.label, "interval", now, "hot_vc.router",
+                       static_cast<double>(hot_.vc_router));
+    sink.write_csv_row(cfg_.label, "interval", now, "hot_vc.port",
+                       static_cast<double>(hot_.vc_port));
+    sink.write_csv_row(cfg_.label, "interval", now, "hot_vc.vc",
+                       static_cast<double>(hot_.vc_vc));
+    sink.write_csv_row(cfg_.label, "interval", now, "hot_vc.occupancy",
+                       hot_.vc_occ);
+    return;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("interval");
+  w.key("label").value(cfg_.label);
+  w.key("cycle").value(now);
+  w.key("interval_cycles").value(width);
+  w.key("metrics").begin_object();
+  for (MetricsRegistry::Id i = 0; i < reg_.size(); ++i)
+    w.key(reg_.def(i).name.c_str()).value(reg_.value(i));
+  w.end_object();
+  if (hot_.channel != kInvalidChannel) {
+    const Channel& ch = net.channel(hot_.channel);
+    w.key("hot_link").begin_object();
+    w.key("channel").value(hot_.channel);
+    w.key("src_router").value(ch.src_router);
+    w.key("src_port").value(static_cast<u32>(ch.src_port));
+    w.key("class").value(to_string(ch.cls));
+    w.key("util").value(hot_.link_util);
+    w.end_object();
+  }
+  w.key("hot_vc").begin_object();
+  w.key("router").value(hot_.vc_router);
+  w.key("port").value(static_cast<u32>(hot_.vc_port));
+  w.key("vc").value(static_cast<u32>(hot_.vc_vc));
+  w.key("occupancy").value(hot_.vc_occ);
+  w.end_object();
+  w.end_object();
+  sink.write_line(w.str());
+}
+
+void Telemetry::emit_full_dump(const Network& net, Cycle now, Cycle width) {
+  MetricsSink& sink = *cfg_.sink;
+  const bool csv = sink.format() == MetricsSink::Format::kCsv;
+
+  // Per-channel utilisation (idle channels omitted to bound the record).
+  JsonWriter lw;
+  if (!csv) {
+    lw.begin_object();
+    lw.key("type").value("links");
+    lw.key("label").value(cfg_.label);
+    lw.key("cycle").value(now);
+    lw.key("links").begin_array();
+  }
+  for (ChannelId c = 0; c < net.num_channels(); ++c) {
+    const u64 d = delta_scratch_[c];
+    if (d == 0) continue;
+    const Channel& ch = net.channel(c);
+    const double util =
+        width == 0 ? 0.0 : static_cast<double>(d) / static_cast<double>(width);
+    if (csv) {
+      char name[64];
+      std::snprintf(name, sizeof name, "link.%u.util", c);
+      sink.write_csv_row(cfg_.label, "links", now, name, util);
+    } else {
+      lw.begin_object();
+      lw.key("channel").value(c);
+      lw.key("src_router").value(ch.src_router);
+      lw.key("src_port").value(static_cast<u32>(ch.src_port));
+      lw.key("class").value(to_string(ch.cls));
+      lw.key("phits").value(d);
+      lw.key("util").value(util);
+      lw.end_object();
+    }
+  }
+  if (!csv) {
+    lw.end_array();
+    lw.end_object();
+    sink.write_line(lw.str());
+  }
+
+  // Per-VC occupancy and cumulative stall counters (idle VCs omitted).
+  JsonWriter vw;
+  if (!csv) {
+    vw.begin_object();
+    vw.key("type").value("vcs");
+    vw.key("label").value(cfg_.label);
+    vw.key("cycle").value(now);
+    vw.key("vcs").begin_array();
+  }
+  for (RouterId r = 0; r < net.topo().routers(); ++r) {
+    const Router& router = net.router(r);
+    for (PortId p = 0; p < ports_; ++p) {
+      const InputPort& in = router.inputs[p];
+      for (u32 v = 0; v < in.vcs.size(); ++v) {
+        const u32 stored = in.vcs[v].stored_phits();
+        const u32 flat = vc_index(r, p, static_cast<VcId>(v));
+        const u64 cstall = vc_credit_stall_[flat];
+        const u64 astall = vc_alloc_stall_[flat];
+        if (stored == 0 && cstall == 0 && astall == 0) continue;
+        const u32 cap = in.vcs[v].capacity();
+        const double occ =
+            cap == 0 ? 0.0
+                     : static_cast<double>(stored) / static_cast<double>(cap);
+        if (csv) {
+          char name[64];
+          std::snprintf(name, sizeof name, "vc.%u.%u.%u.occupancy", r,
+                        static_cast<u32>(p), v);
+          sink.write_csv_row(cfg_.label, "vcs", now, name, occ);
+        } else {
+          vw.begin_object();
+          vw.key("router").value(r);
+          vw.key("port").value(static_cast<u32>(p));
+          vw.key("vc").value(v);
+          vw.key("stored_phits").value(stored);
+          vw.key("occupancy").value(occ);
+          vw.key("credit_stall_cycles").value(cstall);
+          vw.key("alloc_stalls").value(astall);
+          vw.end_object();
+        }
+      }
+    }
+  }
+  if (!csv) {
+    vw.end_array();
+    vw.end_object();
+    sink.write_line(vw.str());
+  }
+}
+
+void Telemetry::collect_edges(const Network& net, Cycle now,
+                              std::vector<StallEdge>& edges,
+                              u64& total) const {
+  const Dragonfly& topo = net.topo();
+  const u32 timeout = net.config().deadlock_timeout;
+  total = 0;
+  for (RouterId r = 0; r < topo.routers(); ++r) {
+    const Router& router = net.router(r);
+    for (PortId p = 0; p < ports_; ++p) {
+      const InputPort& in = router.inputs[p];
+      for (u32 v = 0; v < in.vcs.size(); ++v) {
+        if (in.vcs[v].empty()) continue;
+        if (in.head_busy[v] != 0) continue;  // streaming: making progress
+        const PacketId id = in.vcs[v].head();
+        const Packet& pkt = net.packets().get(id);
+        const u64 age = now - pkt.last_progress;
+        if (age <= timeout) continue;
+        ++total;
+        if (edges.size() >= cfg_.max_forensic_edges) continue;
+
+        StallEdge e;
+        e.router = r;
+        e.in_port = p;
+        e.in_vc = static_cast<VcId>(v);
+        e.packet = id;
+        e.src = pkt.src;
+        e.dst = pkt.dst;
+        e.dst_router = pkt.dst_router;
+        e.age = age;
+        e.in_ring = pkt.in_ring;
+        e.arrived_phits = in.vcs[v].head_arrived();
+
+        // The output this head structurally waits for: the ring output for
+        // in-ring packets, ejection at the destination router, else the
+        // minimal-path port. Derived from the topology only — the routing
+        // policy is never consulted, so no RNG draw can occur.
+        u32 first = 0, count = 0;
+        if (pkt.in_ring && net.ring() != nullptr) {
+          const Network::RingOut& ro = net.ring_out(r);
+          e.wait_port = ro.port;
+          first = ro.first_vc;
+          count = ro.num_vcs;
+        } else if (r == pkt.dst_router) {
+          e.wait_port = topo.node_port(topo.node_slot(pkt.dst));
+          count = 1;
+        } else {
+          e.wait_port = topo.min_next_port(r, pkt.dst_router);
+          net.base_vc_range(r, e.wait_port, first, count);
+        }
+        const OutputPort& out = router.outputs[e.wait_port];
+        e.wait_busy = out.busy();
+        e.held_by = out.active;
+        u32 best = 0;
+        for (u32 vv = first; vv < first + count && vv < out.credits.size();
+             ++vv)
+          best = std::max(best, out.credits[vv]);
+        e.wait_credits = best;
+        edges.push_back(e);
+      }
+    }
+  }
+}
+
+void Telemetry::on_watchdog_trip(const Network& net, u64 stalled,
+                                 u64 worst_stall) {
+  if (forensic_dumps_ >= cfg_.max_forensic_dumps) return;
+  ++forensic_dumps_;
+  last_edges_.clear();
+  u64 total = 0;
+  collect_edges(net, net.now(), last_edges_, total);
+  if (cfg_.sink != nullptr)
+    emit_forensics(net, net.now(), stalled, worst_stall, total);
+}
+
+void Telemetry::emit_forensics(const Network& net, Cycle now, u64 stalled,
+                               u64 worst_stall, u64 total_edges) {
+  (void)net;
+  MetricsSink& sink = *cfg_.sink;
+  const u64 truncated = total_edges - last_edges_.size();
+
+  if (sink.format() == MetricsSink::Format::kCsv) {
+    sink.write_csv_row(cfg_.label, "forensics", now, "stalled_packets",
+                       static_cast<double>(stalled));
+    sink.write_csv_row(cfg_.label, "forensics", now, "worst_stall",
+                       static_cast<double>(worst_stall));
+    sink.write_csv_row(cfg_.label, "forensics", now, "truncated_edges",
+                       static_cast<double>(truncated));
+    for (std::size_t i = 0; i < last_edges_.size(); ++i) {
+      const StallEdge& e = last_edges_[i];
+      char name[64];
+      const auto row = [&](const char* field, double v) {
+        std::snprintf(name, sizeof name, "edge%zu.%s", i, field);
+        sink.write_csv_row(cfg_.label, "forensics", now, name, v);
+      };
+      row("router", e.router);
+      row("port", e.in_port);
+      row("vc", e.in_vc);
+      row("packet", e.packet);
+      row("age", static_cast<double>(e.age));
+      row("in_ring", e.in_ring ? 1.0 : 0.0);
+      row("wait_port", e.wait_port);
+      row("wait_busy", e.wait_busy ? 1.0 : 0.0);
+      row("wait_credits", e.wait_credits);
+    }
+    return;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("forensics");
+  w.key("label").value(cfg_.label);
+  w.key("cycle").value(now);
+  w.key("stalled_packets").value(stalled);
+  w.key("worst_stall").value(worst_stall);
+  w.key("edges").begin_array();
+  for (const StallEdge& e : last_edges_) {
+    w.begin_object();
+    w.key("router").value(e.router);
+    w.key("port").value(static_cast<u32>(e.in_port));
+    w.key("vc").value(static_cast<u32>(e.in_vc));
+    w.key("packet").value(e.packet);
+    w.key("src").value(e.src);
+    w.key("dst").value(e.dst);
+    w.key("dst_router").value(e.dst_router);
+    w.key("age").value(e.age);
+    w.key("in_ring").value(e.in_ring);
+    w.key("arrived_phits").value(e.arrived_phits);
+    w.key("wait_port").value(static_cast<u32>(e.wait_port));
+    w.key("wait_busy").value(e.wait_busy);
+    if (e.held_by != kInvalidPacket) w.key("held_by").value(e.held_by);
+    w.key("wait_credits").value(e.wait_credits);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("truncated").value(truncated);
+  w.end_object();
+  sink.write_line(w.str());
+}
+
+void Telemetry::write_summary(const Network& net) {
+  if (summary_written_) return;
+  summary_written_ = true;
+  if (cfg_.sink == nullptr) return;
+
+  const Stats& st = net.stats();
+  const Cycle now = net.now();
+  MetricsSink& sink = *cfg_.sink;
+
+  // Top stalled input VCs, by combined credit + alloc stalls. Ties resolve
+  // to the lower flat index, so the report is deterministic.
+  struct TopVc {
+    u64 total;
+    u32 flat;
+    RouterId router;
+    PortId port;
+    VcId vc;
+  };
+  std::vector<TopVc> top;
+  for (RouterId r = 0; r < net.topo().routers(); ++r) {
+    for (PortId p = 0; p < ports_; ++p) {
+      const std::size_t slot = static_cast<std::size_t>(r) * ports_ + p;
+      const u32 base = vc_base_[slot];
+      const u32 end = vc_base_[slot + 1];
+      for (u32 f = base; f < end; ++f) {
+        const u64 t = vc_credit_stall_[f] + vc_alloc_stall_[f];
+        if (t > 0)
+          top.push_back({t, f, r, p, static_cast<VcId>(f - base)});
+      }
+    }
+  }
+  const std::size_t keep = std::min<std::size_t>(8, top.size());
+  std::partial_sort(top.begin(), top.begin() + keep, top.end(),
+                    [](const TopVc& a, const TopVc& b) {
+                      return a.total != b.total ? a.total > b.total
+                                                : a.flat < b.flat;
+                    });
+  top.resize(keep);
+
+  const LatencyAccum& lat = st.latency();
+  const LatencyHistogram& hist = st.latency_histogram();
+
+  if (sink.format() == MetricsSink::Format::kCsv) {
+    const auto row = [&](const char* metric, double v) {
+      sink.write_csv_row(cfg_.label, "summary", now, metric, v);
+    };
+    row("samples", static_cast<double>(samples_));
+    row("stats.generated_packets", static_cast<double>(st.generated_packets()));
+    row("stats.delivered_packets", static_cast<double>(st.delivered_packets()));
+    row("stats.delivered_phits", static_cast<double>(st.delivered_phits()));
+    row("stats.latency_mean", lat.mean());
+    row("stats.latency_p50", static_cast<double>(hist.percentile(0.50)));
+    row("stats.latency_p99", static_cast<double>(hist.percentile(0.99)));
+    row("stats.latency_overflow", static_cast<double>(hist.overflow_count()));
+    row("stats.ring_entries", static_cast<double>(st.ring_entries()));
+    row("stats.ring_packets", static_cast<double>(st.ring_packets()));
+    row("stats.ring_reentries", static_cast<double>(st.ring_reentries()));
+    row("stats.ring_use_fraction", st.ring_use_fraction());
+    row("stalls.credit_cycles", static_cast<double>(credit_stall_total_));
+    row("stalls.alloc_cycles", static_cast<double>(alloc_stall_total_));
+    for (u32 i = 0; i < kNumSimPhases; ++i) {
+      char name[64];
+      std::snprintf(name, sizeof name, "phase.%s.seconds",
+                    to_string(kAllPhases[i]));
+      row(name, prof_.estimated_total_seconds(kAllPhases[i]));
+    }
+    return;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("type").value("summary");
+  w.key("label").value(cfg_.label);
+  w.key("cycle").value(now);
+  w.key("samples").value(samples_);
+  w.key("forensic_dumps").value(forensic_dumps_);
+
+  w.key("stats").begin_object();
+  w.key("generated_packets").value(st.generated_packets());
+  w.key("injected_packets").value(st.injected_packets());
+  w.key("delivered_packets").value(st.delivered_packets());
+  w.key("delivered_phits").value(st.delivered_phits());
+  w.key("latency_mean").value(lat.mean());
+  w.key("latency_stddev").value(lat.stddev());
+  w.key("latency_min").value(lat.count == 0 ? u64{0} : lat.min);
+  w.key("latency_max").value(lat.max);
+  w.key("latency_p50").value(hist.percentile(0.50));
+  w.key("latency_p99").value(hist.percentile(0.99));
+  w.key("latency_overflow").value(hist.overflow_count());
+  w.key("mean_hops").value(st.mean_hops());
+  w.key("max_hops").value(st.max_hops());
+  w.key("local_misroutes").value(st.local_misroutes());
+  w.key("global_misroutes").value(st.global_misroutes());
+  w.key("ring_entries").value(st.ring_entries());
+  w.key("ring_exits").value(st.ring_exits());
+  w.key("ring_packets").value(st.ring_packets());
+  w.key("ring_reentries").value(st.ring_reentries());
+  w.key("ring_use_fraction").value(st.ring_use_fraction());
+  w.key("stalled_packets").value(st.stalled_packets());
+  w.key("worst_stall").value(st.worst_stall());
+  w.end_object();
+
+  w.key("stalls").begin_object();
+  w.key("credit_cycles").value(credit_stall_total_);
+  w.key("alloc_cycles").value(alloc_stall_total_);
+  w.key("top").begin_array();
+  for (const TopVc& t : top) {
+    w.begin_object();
+    w.key("router").value(t.router);
+    w.key("port").value(static_cast<u32>(t.port));
+    w.key("vc").value(static_cast<u32>(t.vc));
+    w.key("credit_stall_cycles").value(vc_credit_stall_[t.flat]);
+    w.key("alloc_stalls").value(vc_alloc_stall_[t.flat]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("phases").begin_array();
+  for (u32 i = 0; i < kNumSimPhases; ++i) {
+    const SimPhase p = kAllPhases[i];
+    w.begin_object();
+    w.key("name").value(to_string(p));
+    w.key("invocations").value(prof_.invocations(p));
+    w.key("sampled_invocations").value(prof_.sampled_invocations(p));
+    w.key("sampled_seconds").value(prof_.seconds(p));
+    w.key("estimated_seconds").value(prof_.estimated_total_seconds(p));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("profiler").begin_object();
+  w.key("cycles").value(prof_.cycles());
+  w.key("sampled_cycles").value(prof_.sampled_cycles());
+  w.key("sample_period").value(prof_.sample_period());
+  w.end_object();
+
+  w.end_object();
+  sink.write_line(w.str());
+}
+
+}  // namespace ofar

@@ -1,0 +1,380 @@
+// Opt-in telemetry layer: a registry of named counters/gauges sampled on a
+// fixed cycle interval, a wall-clock profiler of the Network::step phases,
+// and structured deadlock forensics — all streamed through a MetricsSink
+// (see sink.hpp) as JSONL/CSV records.
+//
+// Contract with the cycle kernel (see DESIGN.md "Observability"):
+//
+//  - Strictly opt-in. A Network without enable_telemetry() performs zero
+//    telemetry work: one null-pointer test in step() selects the plain
+//    cycle path, and no telemetry allocation exists.
+//  - Read-only with respect to the simulation. Telemetry never draws from
+//    the Network's RNG, never mutates router/packet/channel state, and the
+//    per-seed stat digests (tests/test_determinism.cpp) are bit-identical
+//    with telemetry enabled or disabled.
+//  - Bounded overhead. Interval sampling is O(network) once per
+//    `interval` cycles; the phase profiler reads the clock only on every
+//    `phase_sample_period`-th cycle (counts stay exact, accumulated wall
+//    time is a uniform sample); per-cycle stall accounting is a counter
+//    increment per blocked head.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ofar {
+
+class Network;
+class MetricsSink;
+class Stats;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+enum class MetricKind : u8 {
+  kCounter,  ///< monotonically non-decreasing total since enable
+  kGauge,    ///< instantaneous (or per-interval) sampled value
+};
+
+struct MetricDef {
+  std::string name;  ///< dotted path, e.g. "link.util.global"
+  std::string unit;  ///< human-readable unit, e.g. "fraction", "cycles"
+  MetricKind kind = MetricKind::kGauge;
+};
+
+/// Flat registry of named metric series. Metrics are defined once (ids are
+/// dense and stable), updated by id on the hot path, and snapshotted in
+/// definition order for emission.
+class MetricsRegistry {
+ public:
+  using Id = u32;
+
+  Id define(std::string name, std::string unit, MetricKind kind) {
+    defs_.push_back({std::move(name), std::move(unit), kind});
+    values_.push_back(0.0);
+    return static_cast<Id>(defs_.size() - 1);
+  }
+
+  void set(Id id, double v) {
+    OFAR_DCHECK(id < values_.size());
+    values_[id] = v;
+  }
+  void add(Id id, double v) {
+    OFAR_DCHECK(id < values_.size());
+    values_[id] += v;
+  }
+  double value(Id id) const {
+    OFAR_DCHECK(id < values_.size());
+    return values_[id];
+  }
+
+  std::size_t size() const noexcept { return defs_.size(); }
+  const MetricDef& def(Id id) const {
+    OFAR_DCHECK(id < defs_.size());
+    return defs_[id];
+  }
+
+  /// Id of the metric named `name`, or kInvalidIndex when absent.
+  Id find(const std::string& name) const noexcept {
+    for (Id i = 0; i < defs_.size(); ++i)
+      if (defs_[i].name == name) return i;
+    return kInvalidIndex;
+  }
+
+  /// (name, value) pairs in definition order — the payload of one interval
+  /// snapshot.
+  std::vector<std::pair<std::string, double>> snapshot() const {
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(defs_.size());
+    for (Id i = 0; i < defs_.size(); ++i)
+      out.emplace_back(defs_[i].name, values_[i]);
+    return out;
+  }
+
+ private:
+  std::vector<MetricDef> defs_;
+  std::vector<double> values_;
+};
+
+// ---------------------------------------------------------------------------
+// Kernel phase profiler
+// ---------------------------------------------------------------------------
+
+/// The phases of Network::step, in execution order.
+enum class SimPhase : u8 {
+  kEventDelivery,  ///< phit/credit wheel delivery
+  kPolicyTick,     ///< routing-policy per-cycle hook (PB broadcast)
+  kTransfers,      ///< crossbar streaming + worklist prune
+  kAllocation,     ///< routing decisions + separable allocation
+  kInjection,      ///< traffic tick + pending-queue drain
+  kWatchdog,       ///< periodic deadlock scan
+};
+inline constexpr u32 kNumSimPhases = 6;
+
+const char* to_string(SimPhase p) noexcept;
+
+/// Accumulates wall-clock time per kernel phase on a sampling basis: every
+/// `sample_period`-th cycle is fully timed (6 clock reads), all others only
+/// bump the cycle counter. Invocation counts are exact; accumulated seconds
+/// cover only the sampled cycles, and estimated_total_seconds() scales them
+/// by the sampling ratio. sample_period == 1 times every cycle;
+/// sample_period == 0 disables timing entirely (counts remain).
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(u32 sample_period) : period_(sample_period) {}
+
+  // ---- hot-path hooks (called by Network::step, instrumented path) ----
+  // A countdown (not `cycle % period`) selects the sampled cycles: the
+  // integer divide would cost more than the rest of the disabled-phase
+  // bookkeeping combined.
+  void start_cycle(Cycle) {
+    if (countdown_ != 0 || period_ == 0) {
+      timing_ = false;
+      countdown_ -= countdown_ != 0 ? 1 : 0;
+      return;
+    }
+    timing_ = true;
+    countdown_ = period_ - 1;
+    ++sampled_cycles_;
+    last_ = clock_ns();
+  }
+  void phase_done(SimPhase p) {
+    if (!timing_) return;
+    const u64 t = clock_ns();
+    ns_[static_cast<u32>(p)] += t - last_;
+    last_ = t;
+    if (p == SimPhase::kWatchdog) ++sampled_watchdog_runs_;
+  }
+  void end_cycle(bool watchdog_ran) {
+    ++cycles_;
+    watchdog_runs_ += watchdog_ran ? 1 : 0;
+  }
+
+  // ---- queries ----
+  u64 cycles() const noexcept { return cycles_; }
+  u64 sampled_cycles() const noexcept { return sampled_cycles_; }
+  u64 invocations(SimPhase p) const noexcept {
+    return p == SimPhase::kWatchdog ? watchdog_runs_ : cycles_;
+  }
+  u64 sampled_invocations(SimPhase p) const noexcept {
+    return p == SimPhase::kWatchdog ? sampled_watchdog_runs_
+                                    : sampled_cycles_;
+  }
+  /// Wall-clock seconds accumulated over the *sampled* cycles.
+  double seconds(SimPhase p) const noexcept {
+    return static_cast<double>(ns_[static_cast<u32>(p)]) * 1e-9;
+  }
+  /// seconds() scaled to all invocations (the sampling estimate).
+  double estimated_total_seconds(SimPhase p) const noexcept {
+    const u64 sampled = sampled_invocations(p);
+    if (sampled == 0) return 0.0;
+    return seconds(p) * static_cast<double>(invocations(p)) /
+           static_cast<double>(sampled);
+  }
+  u32 sample_period() const noexcept { return period_; }
+
+ private:
+  static u64 clock_ns() noexcept {
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  u32 period_;
+  u32 countdown_ = 0;  ///< cycles until the next timed cycle
+  bool timing_ = false;
+  u64 last_ = 0;
+  u64 cycles_ = 0;
+  u64 sampled_cycles_ = 0;
+  u64 watchdog_runs_ = 0;
+  u64 sampled_watchdog_runs_ = 0;
+  u64 ns_[kNumSimPhases] = {};
+};
+
+// ---------------------------------------------------------------------------
+// Telemetry: the per-Network orchestrator
+// ---------------------------------------------------------------------------
+
+struct TelemetryConfig {
+  /// Destination for interval/summary/forensics records. Not owned; must
+  /// outlive the Network when set (the destructor's summary safety net
+  /// writes through it). May be null, in which case metrics are still
+  /// sampled into the registry (tests, in-memory consumers) but nothing is
+  /// written.
+  MetricsSink* sink = nullptr;
+  /// Cycles between interval snapshots.
+  Cycle interval = 1'000;
+  /// Run identifier stamped on every record (sweeps share one sink).
+  std::string label;
+  /// Also emit per-channel link utilisation and per-VC occupancy/stall
+  /// records every interval (large output; off by default).
+  bool full_dump = false;
+  /// Phase-profiler sampling period (1 = time every cycle, 0 = counts only).
+  /// At 64 the amortised clock cost is a few ns/cycle, invisible even on
+  /// mostly-idle drain workloads where cycles themselves are ~100 ns.
+  u32 phase_sample_period = 64;
+  /// Forensics dumps are rate-limited to this many per run, and each dump
+  /// reports at most max_forensic_edges hold/wait edges.
+  u32 max_forensic_dumps = 4;
+  u32 max_forensic_edges = 64;
+};
+
+/// One stalled head and the output it structurally waits for (see
+/// Telemetry::on_watchdog_trip).
+struct StallEdge {
+  RouterId router = 0;
+  PortId in_port = 0;
+  VcId in_vc = 0;
+  PacketId packet = kInvalidPacket;
+  NodeId src = 0;
+  NodeId dst = 0;
+  RouterId dst_router = 0;
+  u64 age = 0;             ///< cycles since the packet's last grant
+  bool in_ring = false;
+  u32 arrived_phits = 0;   ///< phits of the head physically present
+  PortId wait_port = kInvalidPort;  ///< minimal-path (or ring) output waited on
+  bool wait_busy = false;           ///< that output is streaming another packet
+  PacketId held_by = kInvalidPacket;  ///< the packet streaming through it
+  u32 wait_credits = 0;    ///< most credits on any candidate VC of wait_port
+};
+
+class Telemetry {
+ public:
+  /// Sizes the per-router/per-VC accumulators against `net`'s built
+  /// structure and records the enable cycle as the first interval start.
+  /// `net` must outlive this object (Network owns its Telemetry).
+  Telemetry(const Network& net, TelemetryConfig cfg);
+  ~Telemetry();
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  const TelemetryConfig& config() const noexcept { return cfg_; }
+  MetricsRegistry& registry() noexcept { return reg_; }
+  const MetricsRegistry& registry() const noexcept { return reg_; }
+  PhaseProfiler& profiler() noexcept { return prof_; }
+  const PhaseProfiler& profiler() const noexcept { return prof_; }
+
+  // ---- hot-path hooks (only reached when telemetry is enabled) ----
+  /// A routable head at (r, p, v) produced no grantable route this cycle
+  /// (minimal and every eligible non-minimal output busy or out of credits).
+  void note_credit_stall(RouterId r, PortId p, VcId v) {
+    ++vc_credit_stall_[vc_index(r, p, v)];
+    ++credit_stall_total_;
+  }
+  /// A head requested an output but lost separable allocation this cycle.
+  void note_alloc_stall(RouterId r, PortId p, VcId v) {
+    ++vc_alloc_stall_[vc_index(r, p, v)];
+    ++alloc_stall_total_;
+  }
+
+  /// Samples the registry (and emits an interval record) when `now` crosses
+  /// the interval boundary. Called once per cycle after all phases ran.
+  void maybe_sample(const Network& net, Cycle now) {
+    if (now != next_sample_) return;
+    next_sample_ += cfg_.interval;
+    sample(net, now);
+  }
+
+  /// Unconditional snapshot at cycle `now`: refreshes every registry value
+  /// from the network state and streams an interval record to the sink.
+  void sample(const Network& net, Cycle now);
+
+  /// Deadlock forensics: called by the watchdog when at least one packet
+  /// exceeded the deadlock timeout. Scans every input-VC head whose packet
+  /// is over the timeout and emits the hold/wait chain: where the head sits
+  /// (router, port, VC), how old it is, and which output it structurally
+  /// waits on (the ring output for in-ring packets, the minimal-path port
+  /// otherwise — computed from the topology only, so no RNG is consumed).
+  /// Rate-limited to cfg.max_forensic_dumps per run.
+  void on_watchdog_trip(const Network& net, u64 stalled, u64 worst_stall);
+
+  /// Streams the run-end summary record (stats digest, phase profile, stall
+  /// totals and the hottest routers). Idempotent; also invoked from the
+  /// destructor as a safety net when a driver forgets.
+  void write_summary(const Network& net);
+
+  // ---- in-memory queries (tests, drivers) ----
+  u64 credit_stall_cycles() const noexcept { return credit_stall_total_; }
+  u64 alloc_stall_cycles() const noexcept { return alloc_stall_total_; }
+  u64 samples_taken() const noexcept { return samples_; }
+  u64 forensic_dumps() const noexcept { return forensic_dumps_; }
+  /// Edges of the most recent forensics dump (empty before the first trip).
+  const std::vector<StallEdge>& last_forensics() const noexcept {
+    return last_edges_;
+  }
+
+ private:
+  u32 vc_index(RouterId r, PortId p, VcId v) const noexcept {
+    OFAR_DCHECK(static_cast<std::size_t>(r) * ports_ + p + 1 <
+                vc_base_.size());
+    return vc_base_[static_cast<std::size_t>(r) * ports_ + p] + v;
+  }
+  void define_metrics();
+  void sample_tail(const Network& net, const Stats& st, Cycle now,
+                   Cycle width);
+  void emit_interval(const Network& net, Cycle now, Cycle width);
+  void emit_full_dump(const Network& net, Cycle now, Cycle width);
+  void collect_edges(const Network& net, Cycle now,
+                     std::vector<StallEdge>& edges, u64& total) const;
+  void emit_forensics(const Network& net, Cycle now, u64 stalled,
+                      u64 worst_stall, u64 total_edges);
+
+  TelemetryConfig cfg_;
+  const Network* net_;  ///< for the destructor's summary safety net
+  MetricsRegistry reg_;
+  PhaseProfiler prof_;
+
+  // ---- structure-indexed accumulators ----
+  u32 ports_ = 0;                 ///< ports per router (uniform)
+  std::vector<u32> vc_base_;      ///< (router*ports_ + port) -> flat VC base
+  std::vector<u64> vc_credit_stall_;  ///< per input VC, head-cycles blocked
+  std::vector<u64> vc_alloc_stall_;   ///< per input VC, grants lost
+  std::vector<u64> prev_phits_;   ///< per channel, phits_carried at last sample
+  std::vector<u64> delta_scratch_;  ///< per channel, phits this interval
+  u64 credit_stall_total_ = 0;
+  u64 alloc_stall_total_ = 0;
+
+  Cycle next_sample_ = 0;
+  Cycle last_sample_cycle_ = 0;
+  u64 samples_ = 0;
+  bool prev_sample_idle_ = false;   ///< live==0 && pending==0 at last sample
+  u64 prev_sample_generated_ = 0;   ///< generated_packets() at last sample
+  u32 forensic_dumps_ = 0;
+  std::vector<StallEdge> last_edges_;
+  bool summary_written_ = false;
+
+  // Registry ids, grouped as defined in define_metrics().
+  MetricsRegistry::Id id_cycle_, id_interval_;
+  MetricsRegistry::Id id_live_, id_pending_, id_generated_, id_delivered_;
+  MetricsRegistry::Id id_latency_mean_;
+  MetricsRegistry::Id id_util_local_, id_util_global_, id_util_ring_,
+      id_util_max_;
+  MetricsRegistry::Id id_vc_occ_mean_, id_vc_occ_max_;
+  MetricsRegistry::Id id_ring_occ_, id_ring_entries_, id_ring_reentries_;
+  MetricsRegistry::Id id_mis_local_, id_mis_global_;
+  MetricsRegistry::Id id_stall_credit_, id_stall_alloc_;
+  MetricsRegistry::Id id_wl_routers_, id_wl_nodes_, id_throttled_;
+  MetricsRegistry::Id id_wd_stalled_, id_wd_worst_;
+  MetricsRegistry::Id id_phase_secs_[kNumSimPhases];
+  MetricsRegistry::Id id_phase_calls_[kNumSimPhases];
+
+  // Hottest entities of the last sample (emitted inline with the record).
+  struct Hot {
+    ChannelId channel = kInvalidChannel;
+    double link_util = 0.0;
+    RouterId vc_router = 0;
+    PortId vc_port = 0;
+    VcId vc_vc = 0;
+    double vc_occ = 0.0;
+  } hot_;
+};
+
+}  // namespace ofar

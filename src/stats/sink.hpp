@@ -1,0 +1,142 @@
+// Streaming metrics sink: one self-contained record per line, appended to a
+// file as the simulation runs. Two formats, selected by file extension:
+//
+//  - JSONL (default): each record is one JSON object, e.g.
+//      {"type":"interval","label":"OFAR","cycle":2000,"metrics":{...}}
+//  - CSV (".csv"): long format with a fixed header
+//      label,type,cycle,metric,value
+//    (structured records — forensics edges, phase tables — are flattened to
+//    one row per scalar field).
+//
+// The sink is shared by every simulation of a sweep: write_line is
+// thread-safe (one mutex, one fwrite per record), so parallel sweep points
+// can interleave whole records but never tear one. The sink never reads
+// simulation state and is owned by the driver, not the Network.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ofar {
+
+/// Minimal JSON object/array builder with correct string escaping and
+/// comma management. Used by the telemetry layer to serialise records;
+/// deliberately append-only (no DOM) so emission is a single pass.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(512); }  // interval records are ~1-2 KiB
+
+  JsonWriter& begin_object() { open('{'); return *this; }
+  JsonWriter& end_object() { close('}'); return *this; }
+  JsonWriter& begin_array() { open('['); return *this; }
+  JsonWriter& end_array() { close(']'); return *this; }
+
+  JsonWriter& key(const char* k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    comma();
+    append_string(v.c_str());
+    mark_written();
+    return *this;
+  }
+  JsonWriter& value(const char* v) {
+    comma();
+    append_string(v);
+    mark_written();
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    mark_written();
+    return *this;
+  }
+  JsonWriter& value(double v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+    mark_written();
+  }
+  void comma() {
+    if (pending_value_) {  // value directly follows its key: no comma
+      pending_value_ = false;
+      return;
+    }
+    if (!need_comma_.empty() && need_comma_.back()) out_ += ',';
+  }
+  // Every completed element (scalar value or closed container) marks its
+  // enclosing container so the *next* element gets a comma.
+  void mark_written() {
+    if (!need_comma_.empty()) need_comma_.back() = true;
+  }
+  void append_string(const char* s);
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_value_ = false;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(const std::string& s);
+
+class MetricsSink {
+ public:
+  enum class Format : u8 { kJsonl, kCsv };
+
+  /// Opens (truncates) `path`; format is CSV when the path ends in ".csv",
+  /// JSONL otherwise. Returns nullptr when the file cannot be created.
+  static std::unique_ptr<MetricsSink> open(const std::string& path);
+
+  ~MetricsSink();
+  MetricsSink(const MetricsSink&) = delete;
+  MetricsSink& operator=(const MetricsSink&) = delete;
+
+  Format format() const noexcept { return format_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Appends one complete record (without trailing newline) atomically with
+  /// respect to other threads writing to the same sink.
+  void write_line(const std::string& line);
+
+  /// Convenience for CSV rows: label,type,cycle,metric,value. `label` and
+  /// `metric` are escaped (quoted when they contain commas or quotes).
+  void write_csv_row(const std::string& label, const char* type, Cycle cycle,
+                     const std::string& metric, double value);
+
+  u64 lines_written() const noexcept { return lines_; }
+
+ private:
+  MetricsSink(std::FILE* f, Format format, std::string path);
+
+  std::FILE* file_;
+  Format format_;
+  std::string path_;
+  std::mutex mutex_;
+  u64 lines_ = 0;
+};
+
+}  // namespace ofar

@@ -15,6 +15,7 @@ void Stats::reset(Cycle now) {
   delivered_packets_ = delivered_phits_ = 0;
   local_misroutes_ = global_misroutes_ = 0;
   ring_entries_ = ring_exits_ = 0;
+  ring_packets_ = ring_reentries_ = 0;
   stalled_packets_ = worst_stall_ = 0;
   max_hops_ = 0;
   hops_sum_ = 0.0;

@@ -48,11 +48,19 @@ class LatencyHistogram {
 
   void add(u64 v) {
     ++total_;
-    ++buckets_[bucket_of(v)];
+    u32 b = bucket_of(v);
+    if (b >= kBuckets) {
+      b = kBuckets - 1;  // clamp outliers into the top bucket
+      ++overflow_;
+    }
+    ++buckets_[b];
   }
 
   u64 total() const noexcept { return total_; }
   u64 bucket_count(u32 b) const { return buckets_[b]; }
+  /// Samples clamped into the top bucket because they exceeded its floor
+  /// (2^38 cycles): a saturated run is visible instead of silently folded in.
+  u64 overflow_count() const noexcept { return overflow_; }
 
   /// Lower edge of bucket b (0, 1, 2, 4, 8, ...).
   static u64 bucket_floor(u32 b) noexcept {
@@ -60,7 +68,10 @@ class LatencyHistogram {
   }
 
   /// Approximate q-quantile (q in [0,1]): the geometric midpoint of the
-  /// bucket containing the q-th sample. Returns 0 on an empty histogram.
+  /// bucket containing the q-th sample. The top bucket is a clamp bucket
+  /// (it also holds every overflow sample), so its midpoint would be a
+  /// fabrication — report its floor instead, a true lower bound. Returns 0
+  /// on an empty histogram.
   u64 percentile(double q) const {
     if (total_ == 0) return 0;
     const u64 rank = static_cast<u64>(q * static_cast<double>(total_ - 1));
@@ -69,21 +80,22 @@ class LatencyHistogram {
       seen += buckets_[b];
       if (seen > rank) {
         const u64 lo = bucket_floor(b);
-        const u64 hi = b + 1 < kBuckets ? bucket_floor(b + 1) : lo * 2;
-        return (lo + hi) / 2;
+        if (b + 1 == kBuckets) return lo;  // clamp bucket: lower bound
+        return (lo + bucket_floor(b + 1)) / 2;
       }
     }
     return bucket_floor(kBuckets - 1);
   }
 
  private:
+  /// Unclamped bucket index; add() clamps and counts the overflow.
   static u32 bucket_of(u64 v) noexcept {
     if (v == 0) return 0;
-    const u32 b = 64 - static_cast<u32>(__builtin_clzll(v));
-    return b < kBuckets ? b : kBuckets - 1;
+    return 64 - static_cast<u32>(__builtin_clzll(v));
   }
 
   u64 total_ = 0;
+  u64 overflow_ = 0;
   std::array<u64, kBuckets> buckets_{};
 };
 
@@ -100,7 +112,18 @@ class Stats {
   void on_delivered(u16 tag, u32 phits, u64 latency, Cycle birth, u32 hops);
   void on_local_misroute() { ++local_misroutes_; }
   void on_global_misroute() { ++global_misroutes_; }
-  void on_ring_enter() { ++ring_entries_; }
+  /// A packet was granted onto the escape ring. `first_entry` is true when
+  /// this packet had never been on the ring before (Packet::ring_entered):
+  /// ring_entries() counts every entry, ring_packets() counts distinct
+  /// packets, and ring_reentries() the difference.
+  void on_ring_enter(bool first_entry) {
+    ++ring_entries_;
+    if (first_entry) {
+      ++ring_packets_;
+    } else {
+      ++ring_reentries_;
+    }
+  }
   void on_ring_exit() { ++ring_exits_; }
   void on_watchdog(u64 stalled, u64 worst_stall) {
     stalled_packets_ = stalled;
@@ -124,6 +147,8 @@ class Stats {
   u64 global_misroutes() const { return global_misroutes_; }
   u64 ring_entries() const { return ring_entries_; }
   u64 ring_exits() const { return ring_exits_; }
+  u64 ring_packets() const { return ring_packets_; }
+  u64 ring_reentries() const { return ring_reentries_; }
   u64 stalled_packets() const { return stalled_packets_; }
   u64 worst_stall() const { return worst_stall_; }
   u64 max_hops() const { return max_hops_; }
@@ -149,11 +174,14 @@ class Stats {
            (static_cast<double>(nodes) *
             static_cast<double>(now - window_start_));
   }
-  /// Fraction of delivered packets that ever used the escape ring.
+  /// Fraction of delivered packets that ever used the escape ring. Counts
+  /// distinct packets (ring_packets_), not raw entries — a packet that
+  /// bounces on and off the ring contributes once, so the fraction cannot
+  /// exceed 1.0; re-entries are reported separately via ring_reentries().
   double ring_use_fraction() const {
     return delivered_packets_ == 0
                ? 0.0
-               : static_cast<double>(ring_entries_) / delivered_packets_;
+               : static_cast<double>(ring_packets_) / delivered_packets_;
   }
 
  private:
@@ -167,6 +195,8 @@ class Stats {
   u64 global_misroutes_ = 0;
   u64 ring_entries_ = 0;
   u64 ring_exits_ = 0;
+  u64 ring_packets_ = 0;
+  u64 ring_reentries_ = 0;
   u64 stalled_packets_ = 0;
   u64 worst_stall_ = 0;
   u64 max_hops_ = 0;

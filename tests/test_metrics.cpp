@@ -1,0 +1,524 @@
+// Tests for the opt-in telemetry layer (stats/metrics.*, stats/sink.*):
+// registry round-trips, phase-profiler accounting, JSONL/CSV record
+// validity, deadlock forensics on a wedged network, and the determinism
+// guard (telemetry must never perturb the simulation).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/network.hpp"
+#include "stats/metrics.hpp"
+#include "stats/sink.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/pattern.hpp"
+
+namespace ofar {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator: a recursive-descent parser that accepts exactly
+// RFC 8259 values. Used to check that every emitted JSONL line is
+// machine-parseable, without pulling a JSON dependency into the repo.
+// ---------------------------------------------------------------------------
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Value of the top-level `"type":"..."` field (the writer emits it first).
+std::string record_type(const std::string& line) {
+  const std::string key = "\"type\":\"";
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + key.size();
+  const std::size_t end = line.find('"', start);
+  return end == std::string::npos ? "" : line.substr(start, end - start);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+/// RAII temp file: removed on scope exit.
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+SimConfig small_config(u64 seed) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.seed = seed;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = RingKind::kPhysical;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, DefineSetSnapshotRoundTrip) {
+  MetricsRegistry reg;
+  const auto a = reg.define("a.count", "packets", MetricKind::kCounter);
+  const auto b = reg.define("b.gauge", "fraction", MetricKind::kGauge);
+  ASSERT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.def(a).unit, "packets");
+  EXPECT_EQ(reg.def(b).kind, MetricKind::kGauge);
+
+  reg.set(a, 3.0);
+  reg.add(a, 2.0);
+  reg.set(b, 0.25);
+  EXPECT_DOUBLE_EQ(reg.value(a), 5.0);
+
+  EXPECT_EQ(reg.find("a.count"), a);
+  EXPECT_EQ(reg.find("b.gauge"), b);
+  EXPECT_EQ(reg.find("missing"), kInvalidIndex);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a.count");
+  EXPECT_DOUBLE_EQ(snap[0].second, 5.0);
+  EXPECT_EQ(snap[1].first, "b.gauge");
+  EXPECT_DOUBLE_EQ(snap[1].second, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiler
+// ---------------------------------------------------------------------------
+
+TEST(PhaseProfiler, ExactCountsAndMonotonicSeconds) {
+  PhaseProfiler prof(/*sample_period=*/1);
+  double secs_mid = -1.0;
+  for (Cycle c = 0; c < 10; ++c) {
+    prof.start_cycle(c);
+    prof.phase_done(SimPhase::kEventDelivery);
+    prof.phase_done(SimPhase::kPolicyTick);
+    prof.phase_done(SimPhase::kTransfers);
+    prof.phase_done(SimPhase::kAllocation);
+    prof.phase_done(SimPhase::kInjection);
+    const bool watchdog = (c == 7);
+    if (watchdog) prof.phase_done(SimPhase::kWatchdog);
+    prof.end_cycle(watchdog);
+    if (c == 4) secs_mid = prof.seconds(SimPhase::kTransfers);
+  }
+
+  EXPECT_EQ(prof.cycles(), 10u);
+  EXPECT_EQ(prof.sampled_cycles(), 10u);  // period 1: every cycle timed
+  EXPECT_EQ(prof.invocations(SimPhase::kAllocation), 10u);
+  EXPECT_EQ(prof.invocations(SimPhase::kWatchdog), 1u);
+  EXPECT_EQ(prof.sampled_invocations(SimPhase::kWatchdog), 1u);
+
+  // steady_clock is monotonic: accumulated time never decreases and the
+  // final value is at least the mid-run reading.
+  EXPECT_GE(secs_mid, 0.0);
+  EXPECT_GE(prof.seconds(SimPhase::kTransfers), secs_mid);
+  // With every invocation sampled the estimate *is* the measurement.
+  EXPECT_DOUBLE_EQ(prof.estimated_total_seconds(SimPhase::kTransfers),
+                   prof.seconds(SimPhase::kTransfers));
+}
+
+TEST(PhaseProfiler, SamplingScalesEstimate) {
+  PhaseProfiler prof(/*sample_period=*/4);
+  for (Cycle c = 0; c < 16; ++c) {
+    prof.start_cycle(c);
+    prof.phase_done(SimPhase::kTransfers);
+    prof.end_cycle(false);
+  }
+  EXPECT_EQ(prof.cycles(), 16u);
+  EXPECT_EQ(prof.sampled_cycles(), 4u);  // cycles 0, 4, 8, 12
+  // estimate = sampled seconds * 16/4.
+  EXPECT_DOUBLE_EQ(prof.estimated_total_seconds(SimPhase::kTransfers),
+                   prof.seconds(SimPhase::kTransfers) * 4.0);
+}
+
+TEST(PhaseProfiler, PeriodZeroCountsOnly) {
+  PhaseProfiler prof(0);
+  for (Cycle c = 0; c < 5; ++c) {
+    prof.start_cycle(c);
+    prof.phase_done(SimPhase::kAllocation);
+    prof.end_cycle(false);
+  }
+  EXPECT_EQ(prof.cycles(), 5u);
+  EXPECT_EQ(prof.sampled_cycles(), 0u);
+  EXPECT_DOUBLE_EQ(prof.seconds(SimPhase::kAllocation), 0.0);
+  EXPECT_DOUBLE_EQ(prof.estimated_total_seconds(SimPhase::kAllocation), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL sink output
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, JsonlRecordsAreValidJson) {
+  TempFile tmp("test_metrics_out.jsonl");
+  {
+    auto sink = MetricsSink::open(tmp.path);
+    ASSERT_NE(sink, nullptr);
+    EXPECT_EQ(sink->format(), MetricsSink::Format::kJsonl);
+
+    Network net(small_config(42));
+    TelemetryConfig tc;
+    tc.sink = sink.get();
+    tc.interval = 500;
+    tc.label = "jsonl \"test\"";  // exercises string escaping
+    tc.full_dump = true;
+    net.enable_telemetry(tc);
+    net.set_traffic(std::make_unique<BernoulliSource>(
+        TrafficPattern::uniform(), 0.3, 42));
+    net.run(2'200);
+    net.telemetry()->write_summary(net);
+
+    EXPECT_EQ(net.telemetry()->samples_taken(), 4u);  // cycles 500..2000
+  }  // sink closes (flushes) here
+
+  const auto lines = read_lines(tmp.path);
+  ASSERT_FALSE(lines.empty());
+  std::size_t intervals = 0, summaries = 0;
+  for (const auto& line : lines) {
+    JsonValidator v(line);
+    EXPECT_TRUE(v.valid()) << "invalid JSON: " << line;
+    const std::string type = record_type(line);
+    EXPECT_FALSE(type.empty()) << line;
+    if (type == "interval") ++intervals;
+    if (type == "summary") ++summaries;
+  }
+  EXPECT_EQ(intervals, 4u);
+  EXPECT_EQ(summaries, 1u);
+  // The escaped label survives round-trip on every record.
+  for (const auto& line : lines)
+    EXPECT_NE(line.find("jsonl \\\"test\\\""), std::string::npos) << line;
+}
+
+TEST(Telemetry, RegistryTracksNetworkState) {
+  Network net(small_config(7));
+  TelemetryConfig tc;  // sink stays null: in-memory sampling only
+  tc.interval = 250;
+  net.enable_telemetry(tc);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::uniform(), 0.4, 7));
+  net.run(1'000);
+
+  const MetricsRegistry& reg = net.telemetry()->registry();
+  const auto id_cycle = reg.find("sim.cycle");
+  const auto id_delivered = reg.find("packets.delivered");
+  const auto id_generated = reg.find("packets.generated");
+  ASSERT_NE(id_cycle, kInvalidIndex);
+  ASSERT_NE(id_delivered, kInvalidIndex);
+  ASSERT_NE(id_generated, kInvalidIndex);
+
+  // The last interval snapshot landed exactly on cycle 1000.
+  EXPECT_DOUBLE_EQ(reg.value(id_cycle), 1000.0);
+  EXPECT_GT(reg.value(id_generated), 0.0);
+  // Counters in the registry mirror Stats at the snapshot; both only grow.
+  EXPECT_LE(reg.value(id_delivered),
+            static_cast<double>(net.stats().delivered_packets()));
+  EXPECT_EQ(net.telemetry()->samples_taken(), 4u);
+}
+
+TEST(Telemetry, CsvSinkEmitsHeaderAndRows) {
+  TempFile tmp("test_metrics_out.csv");
+  {
+    auto sink = MetricsSink::open(tmp.path);
+    ASSERT_NE(sink, nullptr);
+    EXPECT_EQ(sink->format(), MetricsSink::Format::kCsv);
+
+    Network net(small_config(9));
+    TelemetryConfig tc;
+    tc.sink = sink.get();
+    tc.interval = 400;
+    tc.label = "csv";
+    net.enable_telemetry(tc);
+    net.set_traffic(std::make_unique<BernoulliSource>(
+        TrafficPattern::uniform(), 0.3, 9));
+    net.run(900);
+    net.telemetry()->write_summary(net);
+  }
+
+  const auto lines = read_lines(tmp.path);
+  ASSERT_GT(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "label,type,cycle,metric,value");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    // Simple shape check: 5 fields (no quoted field in this run contains a
+    // comma), label first.
+    std::size_t commas = 0;
+    for (char c : lines[i]) commas += (c == ',');
+    EXPECT_EQ(commas, 4u) << lines[i];
+    EXPECT_EQ(lines[i].rfind("csv,", 0), 0u) << lines[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock forensics
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, ForensicsOnWedgedNetwork) {
+  // Saturate a small network and declare any head older than 8 cycles
+  // "stalled": by the first watchdog scan (cycle 4096) the network is
+  // congested enough that the trip is guaranteed, exercising the forensic
+  // dump path without needing a true deadlock.
+  TempFile tmp("test_metrics_forensics.jsonl");
+  auto sink = MetricsSink::open(tmp.path);
+  ASSERT_NE(sink, nullptr);
+
+  SimConfig cfg = small_config(3);
+  cfg.deadlock_timeout = 8;
+  Network net(cfg);
+  TelemetryConfig tc;
+  tc.sink = sink.get();
+  tc.interval = 1'000;
+  tc.label = "wedge";
+  tc.max_forensic_dumps = 2;
+  net.enable_telemetry(tc);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::uniform(), 1.0, 3));
+  net.run(4'200);  // past the first watchdog scan at cycle 4096
+
+  const Telemetry* t = net.telemetry();
+  ASSERT_GE(t->forensic_dumps(), 1u);
+  const std::vector<StallEdge>& edges = t->last_forensics();
+  ASSERT_FALSE(edges.empty());
+
+  const Dragonfly& topo = net.topo();
+  for (const StallEdge& e : edges) {
+    EXPECT_LT(e.router, topo.routers());
+    EXPECT_LT(e.in_port, topo.ports_per_router());
+    EXPECT_NE(e.packet, kInvalidPacket);
+    EXPECT_GT(e.age, u64{cfg.deadlock_timeout});
+    EXPECT_GT(e.arrived_phits, 0u);  // heads only, and a head has phits
+    // Every reported edge names the output it waits for.
+    EXPECT_NE(e.wait_port, kInvalidPort);
+    EXPECT_LT(e.wait_port, topo.ports_per_router());
+  }
+
+  // Mark the summary written before releasing the sink: the Telemetry
+  // destructor's safety net must not touch a dead sink (the sink is
+  // documented to outlive the Network otherwise).
+  net.telemetry()->write_summary(net);
+  sink.reset();  // flush
+  bool saw_forensics = false;
+  for (const auto& line : read_lines(tmp.path)) {
+    JsonValidator v(line);
+    EXPECT_TRUE(v.valid()) << "invalid JSON: " << line;
+    if (record_type(line) == "forensics") {
+      saw_forensics = true;
+      // The record carries at least one structured hold/wait edge.
+      EXPECT_NE(line.find("\"edges\":[{"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"router\":"), std::string::npos);
+      EXPECT_NE(line.find("\"wait_port\":"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_forensics);
+}
+
+TEST(Telemetry, ForensicsRateLimit) {
+  SimConfig cfg = small_config(3);
+  cfg.deadlock_timeout = 8;
+  Network net(cfg);
+  TelemetryConfig tc;  // null sink: edges are still collected
+  tc.max_forensic_dumps = 1;
+  net.enable_telemetry(tc);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::uniform(), 1.0, 3));
+  net.run(3 * 4'096 + 64);  // three watchdog scans
+  EXPECT_EQ(net.telemetry()->forensic_dumps(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism guard
+// ---------------------------------------------------------------------------
+
+/// Every per-seed deterministic Stats field in one comparable tuple.
+struct Digest {
+  u64 generated, injected, delivered, phits;
+  u64 lat_count, lat_min, lat_max;
+  double lat_sum;
+  u64 ring_in, ring_out, ring_pkts, ring_re;
+  u64 mis_l, mis_g, max_hops;
+
+  static Digest of(const Network& net) {
+    const Stats& s = net.stats();
+    return {s.generated_packets(), s.injected_packets(),
+            s.delivered_packets(), s.delivered_phits(),
+            s.latency().count,     s.latency().min,
+            s.latency().max,       s.latency().sum,
+            s.ring_entries(),      s.ring_exits(),
+            s.ring_packets(),      s.ring_reentries(),
+            s.local_misroutes(),   s.global_misroutes(),
+            s.max_hops()};
+  }
+
+  bool operator==(const Digest&) const = default;
+};
+
+TEST(Telemetry, EnablingTelemetryPreservesDeterminism) {
+  const SimConfig cfg = small_config(12345);
+  auto run = [&cfg](bool telemetry) {
+    Network net(cfg);
+    if (telemetry) {
+      TelemetryConfig tc;  // in-memory only; timing every cycle to stress
+      tc.interval = 100;   // the instrumented step path
+      tc.phase_sample_period = 1;
+      tc.full_dump = true;
+      net.enable_telemetry(tc);
+    }
+    net.set_traffic(std::make_unique<BernoulliSource>(
+        TrafficPattern::adversarial(1), 0.6, cfg.seed));
+    net.run(3'000);
+    return Digest::of(net);
+  };
+
+  const Digest off = run(false);
+  const Digest on = run(true);
+  EXPECT_TRUE(off == on)
+      << "telemetry perturbed the simulation (delivered " << off.delivered
+      << " vs " << on.delivered << ")";
+  EXPECT_GT(off.delivered, 0u);
+}
+
+TEST(Telemetry, StallCountersAccumulateUnderLoad) {
+  Network net(small_config(5));
+  TelemetryConfig tc;
+  net.enable_telemetry(tc);
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::uniform(), 1.0, 5));
+  net.run(2'000);
+  // A saturated network necessarily loses some allocations or credits.
+  EXPECT_GT(net.telemetry()->credit_stall_cycles() +
+                net.telemetry()->alloc_stall_cycles(),
+            0u);
+}
+
+}  // namespace
+}  // namespace ofar

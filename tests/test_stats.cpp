@@ -41,12 +41,15 @@ TEST(Stats, ResetClearsCounters) {
   s.on_generated(0, 8);
   s.on_delivered(0, 8, 50, 0, 3);
   s.on_local_misroute();
-  s.on_ring_enter();
+  s.on_ring_enter(/*first_entry=*/true);
+  s.on_ring_enter(/*first_entry=*/false);
   s.reset(500);
   EXPECT_EQ(s.generated_packets(), 0u);
   EXPECT_EQ(s.delivered_packets(), 0u);
   EXPECT_EQ(s.local_misroutes(), 0u);
   EXPECT_EQ(s.ring_entries(), 0u);
+  EXPECT_EQ(s.ring_packets(), 0u);
+  EXPECT_EQ(s.ring_reentries(), 0u);
   EXPECT_EQ(s.window_start(), 500u);
   EXPECT_EQ(s.latency().count, 0u);
 }
@@ -68,9 +71,46 @@ TEST(Stats, RingUseFraction) {
   Stats s;
   s.reset(0);
   for (int i = 0; i < 10; ++i) s.on_delivered(0, 8, 10, 0, 3);
-  s.on_ring_enter();
-  s.on_ring_enter();
+  s.on_ring_enter(/*first_entry=*/true);
+  s.on_ring_enter(/*first_entry=*/true);
   EXPECT_DOUBLE_EQ(s.ring_use_fraction(), 0.2);
+}
+
+TEST(Stats, RingReentriesDoNotInflateUseFraction) {
+  Stats s;
+  s.reset(0);
+  // Two delivered packets; one of them bounces on and off the ring three
+  // times. The fraction counts distinct packets, so it stays at 0.5 (the
+  // old raw-entries accounting would report 1.5).
+  for (int i = 0; i < 2; ++i) s.on_delivered(0, 8, 10, 0, 3);
+  s.on_ring_enter(/*first_entry=*/true);
+  s.on_ring_enter(/*first_entry=*/false);
+  s.on_ring_enter(/*first_entry=*/false);
+  EXPECT_EQ(s.ring_entries(), 3u);
+  EXPECT_EQ(s.ring_packets(), 1u);
+  EXPECT_EQ(s.ring_reentries(), 2u);
+  EXPECT_DOUBLE_EQ(s.ring_use_fraction(), 0.5);
+}
+
+TEST(LatencyHistogram, OverflowCountAndClampPercentile) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.overflow_count(), 0u);
+  h.add(100);
+  // 2^45 exceeds the top-bucket floor (2^38): clamped and counted.
+  h.add(u64{1} << 45);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+  // The clamp bucket reports its floor (a true lower bound), not a
+  // fabricated midpoint.
+  EXPECT_EQ(h.percentile(1.0),
+            LatencyHistogram::bucket_floor(LatencyHistogram::kBuckets - 1));
+  // A value that lands exactly in the top bucket without exceeding its
+  // floor range is not an overflow.
+  LatencyHistogram h2;
+  h2.add(LatencyHistogram::bucket_floor(LatencyHistogram::kBuckets - 1));
+  EXPECT_EQ(h2.overflow_count(), 0u);
+  EXPECT_EQ(h2.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
 }
 
 TEST(TimeSeries, BucketsByCycle) {
