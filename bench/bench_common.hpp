@@ -12,6 +12,8 @@
 //   --metrics-out F       stream telemetry records to F (.jsonl or .csv)
 //   --metrics-interval C  cycles between interval snapshots (default 1000)
 //   --metrics-full        also dump per-channel / per-VC records
+//   --audit               run the invariant auditor every 4096 cycles
+//   --audit-interval C    audit every C cycles (implies --audit)
 #pragma once
 
 #include <cstdio>
@@ -49,6 +51,10 @@ struct BenchOptions {
   Cycle metrics_interval = 1'000;
   bool metrics_full = false;
 
+  // Invariant-audit period (0 = off). Mirrored into run.audit_interval for
+  // the steady drivers; the transient/burst drivers read it directly.
+  Cycle audit_interval = 0;
+
   static BenchOptions parse(const CommandLine& cli, Cycle warmup_default,
                             Cycle measure_default) {
     BenchOptions o;
@@ -70,6 +76,10 @@ struct BenchOptions {
     o.run.metrics_sink = o.metrics.get();
     o.run.metrics_interval = o.metrics_interval;
     o.run.metrics_full = o.metrics_full;
+    o.audit_interval = cli.get_uint("audit-interval", 0);
+    if (cli.get_flag("audit") && o.audit_interval == 0)
+      o.audit_interval = 4'096;
+    o.run.audit_interval = o.audit_interval;
     return o;
   }
 

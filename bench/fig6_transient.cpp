@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
     for (std::size_t m = 0; m < mechanisms.size(); ++m) {
       jobs.emplace_back([&, m] {
         TransientParams p = params;
+        p.audit_interval = opts.audit_interval;
         p.metrics_sink = opts.metrics.get();
         p.metrics_interval = opts.metrics_interval;
         p.metrics_full = opts.metrics_full;

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     for (std::size_t m = 0; m < mechanisms.size(); ++m) {
       jobs.emplace_back([&, m] {
         results[m] = run_burst(opts.config(mechanisms[m].second), wl.pattern,
-                               packets, max_cycles);
+                               packets, max_cycles, opts.audit_interval);
       });
     }
     run_parallel(jobs, opts.threads);

@@ -37,11 +37,13 @@ namespace {
 using namespace ofar;
 
 /// --metrics-out/--metrics-interval: optional telemetry for the measured
-/// window. perf_core's committed baseline is produced WITHOUT these flags;
-/// with them the same binary doubles as the overhead gauge.
+/// window. --audit/--audit-interval: optional invariant auditing. perf_core's
+/// committed baseline is produced WITHOUT these flags; with them the same
+/// binary doubles as the overhead gauge.
 struct MetricsOptions {
   MetricsSink* sink = nullptr;
   Cycle interval = 1'000;
+  Cycle audit_interval = 0;
 };
 
 struct PointSpec {
@@ -79,6 +81,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 PointResult run_point(const SimConfig& cfg, const PointSpec& spec,
                       const MetricsOptions& metrics) {
   Network net(cfg);
+  if (metrics.audit_interval > 0) net.enable_audit(metrics.audit_interval);
   if (metrics.sink != nullptr) {
     TelemetryConfig tc;
     tc.sink = metrics.sink;
@@ -166,6 +169,9 @@ int main(int argc, char** argv) {
   const std::string metrics_out = cli.get_string("metrics-out", "");
   MetricsOptions metrics;
   metrics.interval = cli.get_uint("metrics-interval", 1'000);
+  metrics.audit_interval = cli.get_uint("audit-interval", 0);
+  if (cli.get_flag("audit") && metrics.audit_interval == 0)
+    metrics.audit_interval = 4'096;
   if (!reject_unknown(cli)) return 1;
   std::unique_ptr<MetricsSink> metrics_sink;
   if (!metrics_out.empty()) {

@@ -2,6 +2,9 @@
 //
 // OFAR_CHECK is always on (cheap, used on cold paths such as construction);
 // OFAR_DCHECK compiles out in release builds and is used in per-cycle code.
+// When compiled out, the condition (and message) remain inside an
+// unevaluated sizeof so they are still parsed and type-checked — a DCHECK
+// referencing a renamed member fails the NDEBUG build instead of bit-rotting.
 #pragma once
 
 #include <cstdio>
@@ -32,8 +35,16 @@ namespace ofar::detail {
 
 #ifndef NDEBUG
 #define OFAR_DCHECK(cond) OFAR_CHECK(cond)
+#define OFAR_DCHECK_MSG(cond, msg) OFAR_CHECK_MSG(cond, msg)
 #else
-#define OFAR_DCHECK(cond) \
-  do {                    \
+// Unevaluated operands: no codegen, but the expressions must still compile.
+#define OFAR_DCHECK(cond)                            \
+  do {                                               \
+    static_cast<void>(sizeof((cond) ? 1 : 0));       \
+  } while (false)
+#define OFAR_DCHECK_MSG(cond, msg)                   \
+  do {                                               \
+    static_cast<void>(sizeof((cond) ? 1 : 0));       \
+    static_cast<void>(sizeof((msg) != nullptr));     \
   } while (false)
 #endif

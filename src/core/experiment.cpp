@@ -36,6 +36,7 @@ TelemetryConfig make_telemetry_config(MetricsSink* sink, Cycle interval,
 SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
                         double load, const RunParams& params) {
   Network net(cfg);
+  if (params.audit_interval > 0) net.enable_audit(params.audit_interval);
   net.set_traffic(
       std::make_unique<BernoulliSource>(pattern, load, cfg.seed));
   if (params.metrics_sink != nullptr) {
@@ -87,6 +88,7 @@ TransientResult run_transient(const SimConfig& cfg,
                               const TrafficPattern& pattern_b, double load_b,
                               const TransientParams& params) {
   Network net(cfg);
+  if (params.audit_interval > 0) net.enable_audit(params.audit_interval);
   const Cycle switch_at = params.warmup;
   std::vector<PhasedSource::Phase> phases;
   phases.push_back({pattern_a, load_a, switch_at, /*tag_base=*/0});
@@ -121,8 +123,10 @@ TransientResult run_transient(const SimConfig& cfg,
 }
 
 BurstResult run_burst(const SimConfig& cfg, const TrafficPattern& pattern,
-                      u32 packets_per_node, Cycle max_cycles) {
+                      u32 packets_per_node, Cycle max_cycles,
+                      Cycle audit_interval) {
   Network net(cfg);
+  if (audit_interval > 0) net.enable_audit(audit_interval);
   auto source =
       std::make_unique<BurstSource>(pattern, packets_per_node, cfg.seed);
   BurstSource* burst = source.get();

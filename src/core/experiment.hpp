@@ -23,6 +23,11 @@ struct RunParams {
   Cycle warmup = 20'000;
   Cycle measure = 30'000;
 
+  /// Cycles between invariant-auditor runs (Network::enable_audit);
+  /// 0 disables. Auditing is read-only: results are bit-identical either
+  /// way, the run just aborts with a report if an invariant breaks.
+  Cycle audit_interval = 0;
+
   // ---- optional telemetry (stats/metrics.hpp); active when sink != null.
   // The sink is shared, not owned: a sweep points every run at one file and
   // each record carries `metrics_label` (plus a "load=" suffix) to tell the
@@ -47,6 +52,16 @@ struct SteadyResult {
   double mean_hops = 0.0;
 };
 
+/// RunParams with just the measurement windows set. Spelled as a function
+/// because partial brace-init of RunParams trips
+/// -Wmissing-field-initializers on the optional telemetry members.
+inline RunParams run_windows(Cycle warmup, Cycle measure) {
+  RunParams p;
+  p.warmup = warmup;
+  p.measure = measure;
+  return p;
+}
+
 /// One steady-state point: fresh network, Bernoulli traffic at `load`.
 SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
                         double load, const RunParams& params = {});
@@ -69,6 +84,7 @@ struct TransientParams {
   Cycle lead = 2'000;         ///< observed span before the switch
   Cycle drain = 30'000;       ///< extra cycles so late packets deliver
   u32 bucket = 100;           ///< series bucket width, cycles
+  Cycle audit_interval = 0;   ///< invariant-audit period, as in RunParams
 
   // ---- optional telemetry, as in RunParams. Interval snapshots span the
   // whole run including the pattern-switch window.
@@ -104,6 +120,7 @@ struct BurstResult {
 
 /// Every node injects `packets_per_node` packets as fast as possible.
 BurstResult run_burst(const SimConfig& cfg, const TrafficPattern& pattern,
-                      u32 packets_per_node, Cycle max_cycles = 5'000'000);
+                      u32 packets_per_node, Cycle max_cycles = 5'000'000,
+                      Cycle audit_interval = 0);
 
 }  // namespace ofar

@@ -352,6 +352,7 @@ void Network::place_packet(NodeId src, const Offer& offer) {
   r.input_mask[topo_.node_port(topo_.node_slot(src))] |=
       static_cast<u8>(1u << best_vc);
   mark_router_active(r.id);
+  ++injected_total_;
   stats_.on_injected();
   if (tracer_) {
     TraceEvent ev;
@@ -420,6 +421,7 @@ void Network::deliver_events() {
 
 void Network::deliver_packet(PacketId id) {
   const Packet& pkt = pool_.get(id);
+  ++delivered_total_;
   stats_.on_delivered(pkt.pattern_tag, pkt.size, now_ - pkt.birth, pkt.birth,
                       pkt.total_hops);
   if (tracer_) {
@@ -714,6 +716,7 @@ void Network::step() {
   do_injection();
   if (now_ % kWatchdogPeriod == 0 && now_ != 0) run_watchdog();
   ++now_;
+  if (now_ >= next_audit_) [[unlikely]] run_audit();
 }
 
 void Network::step_instrumented() {
@@ -736,6 +739,7 @@ void Network::step_instrumented() {
   }
   prof.end_cycle(watchdog);
   ++now_;
+  if (now_ >= next_audit_) [[unlikely]] run_audit();
   telem_->maybe_sample(*this, now_);
 }
 
@@ -743,44 +747,36 @@ void Network::enable_telemetry(const TelemetryConfig& tcfg) {
   telem_ = std::make_unique<Telemetry>(*this, tcfg);
 }
 
+void Network::enable_audit(Cycle interval) {
+  if (interval == 0) {
+    audit_.reset();
+    audit_interval_ = 0;
+    next_audit_ = ~Cycle{0};
+    return;
+  }
+  audit_ = std::make_unique<verify::InvariantAuditor>(*this);
+  audit_interval_ = interval;
+  next_audit_ = now_ + interval;
+}
+
+void Network::run_audit() {
+  next_audit_ = now_ + audit_interval_;
+  const verify::AuditReport report = audit_->run_all();
+  if (!report.ok()) [[unlikely]] {
+    std::fputs(report.to_string().c_str(), stderr);
+    std::abort();
+  }
+}
+
 void Network::run(u64 cycles) {
   for (u64 i = 0; i < cycles; ++i) step();
 }
 
 bool Network::check_flow_conservation() const {
-  // Tally in-flight phits and credits per (channel, vc) from the wheels.
-  std::vector<std::vector<u32>> wire_phits(channels_.size());
-  std::vector<std::vector<u32>> wire_credits(channels_.size());
-  for (ChannelId c = 0; c < channels_.size(); ++c) {
-    const std::size_t vcs =
-        routers_[channels_[c].src_router].outputs[channels_[c].src_port]
-            .credits.size();
-    wire_phits[c].assign(vcs, 0);
-    wire_credits[c].assign(vcs, 0);
-  }
-  for (const auto& slot : phit_wheel_)
-    for (const PhitEvent& e : slot) ++wire_phits[e.ch][e.vc];
-  for (const auto& slot : credit_wheel_)
-    for (const CreditEvent& e : slot) ++wire_credits[e.ch][e.vc];
-
-  for (ChannelId c = 0; c < channels_.size(); ++c) {
-    const Channel& ch = channels_[c];
-    if (ch.is_ejection()) continue;  // sink credits are modelled as infinite
-    const OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
-    const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
-    for (std::size_t v = 0; v < out.credits.size(); ++v) {
-      u64 total = out.credits[v] + wire_phits[c][v] + wire_credits[c][v];
-      // Phits stored downstream on this VC, minus what has already been
-      // forwarded (those produced wire credits or are counted upstream).
-      const VcFifo& fifo = in.vcs[v];
-      total += fifo.stored_phits();
-      // An active transfer reserved the whole packet at grant time but has
-      // only sent size - phits_left so far.
-      if (out.busy() && out.active_vc == v) total += out.phits_left;
-      if (total != out.credit_cap[v]) return false;
-    }
-  }
-  return true;
+  verify::InvariantAuditor auditor(*this);
+  verify::AuditReport report;
+  auditor.check_credit_conservation(report);
+  return report.ok();
 }
 
 bool Network::check_quiescent() const {
@@ -808,37 +804,10 @@ bool Network::check_quiescent() const {
 }
 
 bool Network::check_worklists() const {
-  // Router list: flags and list membership must agree, and every router
-  // with activity must be listed. (Routers that drained since the last
-  // refresh may legitimately linger until the next one.)
-  std::vector<u8> listed(routers_.size(), 0);
-  for (const RouterId r : active_routers_) {
-    if (r >= routers_.size() || listed[r]) return false;  // dup / bogus id
-    listed[r] = 1;
-  }
-  for (RouterId r = 0; r < routers_.size(); ++r) {
-    if (listed[r] != router_in_worklist_[r]) return false;
-    if (routers_[r].has_activity() && !listed[r]) return false;
-    // routable_heads must count exactly the (port, vc) heads the
-    // allocation scan could request for.
-    u32 heads = 0;
-    for (const InputPort& in : routers_[r].inputs)
-      for (VcId v = 0; v < in.vcs.size(); ++v)
-        if (in.has_head(v)) ++heads;
-    if (heads != routers_[r].routable_heads) return false;
-  }
-  // Node list: after do_injection's compaction it holds exactly the nodes
-  // with a non-empty source queue.
-  std::vector<u8> node_listed(pending_.size(), 0);
-  for (const NodeId n : active_nodes_) {
-    if (n >= pending_.size() || node_listed[n]) return false;
-    node_listed[n] = 1;
-  }
-  for (NodeId n = 0; n < pending_.size(); ++n) {
-    if (node_listed[n] != node_in_worklist_[n]) return false;
-    if (node_listed[n] != (pending_[n].empty() ? 0 : 1)) return false;
-  }
-  return true;
+  verify::InvariantAuditor auditor(*this);
+  verify::AuditReport report;
+  auditor.check_worklists(report);
+  return report.ok();
 }
 
 }  // namespace ofar

@@ -42,6 +42,7 @@
 #include "topology/dragonfly.hpp"
 #include "topology/hamiltonian.hpp"
 #include "traffic/generator.hpp"
+#include "verify/invariant_auditor.hpp"
 
 namespace ofar {
 
@@ -115,6 +116,19 @@ class Network {
   /// Offers queued in node source queues, not yet injected.
   u64 pending_offers() const noexcept { return pending_total_; }
 
+  /// Lifetime packet totals. Unlike the Stats counters these are never
+  /// reset by measurement windows, so `injected_total() - delivered_total()`
+  /// equals the live-packet count at all times (audited invariant).
+  u64 injected_total() const noexcept { return injected_total_; }
+  u64 delivered_total() const noexcept { return delivered_total_; }
+
+  /// Enables the periodic invariant auditor (verify/invariant_auditor.hpp):
+  /// every `interval` cycles the full check suite runs between cycles; any
+  /// violation prints an actionable report and aborts. Interval 0 disables.
+  /// The auditor is read-only and RNG-free — per-seed results (and golden
+  /// digests) are bit-identical with auditing on or off.
+  void enable_audit(Cycle interval);
+
   /// Enables the opt-in telemetry layer (see stats/metrics.hpp). Replaces
   /// any previous instance; the interval clock starts at the current cycle.
   /// Telemetry is read-only instrumentation: enabling it changes no
@@ -165,17 +179,21 @@ class Network {
   /// Mid-run credit-conservation audit. For every (channel, VC):
   ///   upstream credits + downstream stored phits + phits on the wire
   ///   + credits on the wire + unsent phits of an active transfer
-  /// must equal the downstream buffer capacity. O(network); test-only.
+  /// must equal the downstream buffer capacity. Thin wrapper over
+  /// verify::InvariantAuditor::check_credit_conservation. O(network).
   bool check_flow_conservation() const;
 
   /// Audit of the activity-worklist invariants (callable between steps):
   /// membership flags match the lists exactly, every router with activity
   /// is on the router worklist (the list may lag with idle routers until
   /// the next refresh), and the pending-node list holds exactly the nodes
-  /// with a non-empty source queue. O(network); test-only.
+  /// with a non-empty source queue. Thin wrapper over
+  /// verify::InvariantAuditor::check_worklists. O(network).
   bool check_worklists() const;
 
  private:
+  friend class verify::InvariantAuditor;
+
   struct PhitEvent {
     ChannelId ch;
     PacketId pkt;
@@ -206,6 +224,9 @@ class Network {
   /// step() with the phase profiler wrapped around each phase; selected by
   /// a single telem_ null test so the plain path stays instrumentation-free.
   void step_instrumented();
+  /// Periodic auditor driver: runs the full check suite and aborts with the
+  /// report on any violation. Reschedules itself audit_interval_ ahead.
+  void run_audit();
 
   // ---- activity worklists ----
   /// Adds router r to the active worklist (idempotent). Called whenever a
@@ -246,6 +267,8 @@ class Network {
 
   std::vector<std::deque<Offer>> pending_;  // per node source queues
   u64 pending_total_ = 0;
+  u64 injected_total_ = 0;   // lifetime, never reset (packet conservation)
+  u64 delivered_total_ = 0;  // lifetime, never reset
 
   // Activity worklists (see class comment). Invariants:
   //  - router_in_worklist_[r] != 0  <=>  r appears in active_routers_;
@@ -272,6 +295,13 @@ class Network {
   // Scratch buffers reused across cycles.
   std::unique_ptr<SeparableAllocator> alloc_;
   std::vector<AllocRequest> reqs_scratch_;
+
+  // Opt-in invariant auditing (see enable_audit). next_audit_ stays at the
+  // Cycle max sentinel while disabled, so the per-cycle test in step() is a
+  // single never-taken compare.
+  std::unique_ptr<verify::InvariantAuditor> audit_;
+  Cycle audit_interval_ = 0;
+  Cycle next_audit_ = ~Cycle{0};
 
   // Opt-in telemetry. Declared last: ~Telemetry may stream a run-end
   // summary that reads the members above, so it must be destroyed first.

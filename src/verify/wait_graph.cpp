@@ -1,0 +1,150 @@
+#include "verify/wait_graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/network.hpp"
+
+namespace ofar::verify {
+
+WaitGraph::WaitGraph(const Network& net) : net_(net) {}
+
+u32 WaitGraph::node_index(RouterId r, PortId p, VcId v) const noexcept {
+  return r * ports_ * max_vcs_ + p * max_vcs_ + v;
+}
+
+WaitGraph::Node WaitGraph::node_at(u32 index) const noexcept {
+  Node n;
+  n.router = index / (ports_ * max_vcs_);
+  n.port = static_cast<PortId>((index / max_vcs_) % ports_);
+  n.vc = static_cast<VcId>(index % max_vcs_);
+  return n;
+}
+
+void WaitGraph::build() {
+  const Dragonfly& topo = net_.topo();
+  ports_ = topo.ports_per_router();
+  max_vcs_ = 1;
+  for (RouterId r = 0; r < topo.routers(); ++r)
+    for (PortId p = 0; p < ports_; ++p)
+      max_vcs_ = std::max(
+          max_vcs_,
+          static_cast<u32>(net_.router(r).inputs[p].vcs.size()));
+  const std::size_t total =
+      static_cast<std::size_t>(topo.routers()) * ports_ * max_vcs_;
+  adj_.assign(total, {});
+  is_ring_node_.assign(total, 0);
+  num_edges_ = 0;
+
+  const Cycle now = net_.now();
+  const u32 timeout = net_.config().deadlock_timeout;
+  const u32 need = net_.config().packet_size;
+
+  for (RouterId r = 0; r < topo.routers(); ++r) {
+    const Router& router = net_.router(r);
+    for (PortId p = 0; p < ports_; ++p) {
+      const InputPort& in = router.inputs[p];
+      for (u32 v = 0; v < in.vcs.size(); ++v) {
+        const u32 u = node_index(r, p, static_cast<VcId>(v));
+        if (net_.is_ring_input(r, p, static_cast<VcId>(v)))
+          is_ring_node_[u] = 1;
+        if (in.vcs[v].empty()) continue;
+        if (in.head_busy[v] != 0) continue;  // streaming: making progress
+        const Packet& pkt = net_.packets().get(in.vcs[v].head());
+        if (now - pkt.last_progress <= timeout) continue;
+
+        // Structural wait output (see header): topology-derived only.
+        PortId wait_port;
+        u32 first = 0, count = 0;
+        if (pkt.in_ring && net_.ring() != nullptr) {
+          const Network::RingOut& ro = net_.ring_out(r);
+          wait_port = ro.port;
+          first = ro.first_vc;
+          count = ro.num_vcs;
+        } else if (r == pkt.dst_router) {
+          wait_port = topo.node_port(topo.node_slot(pkt.dst));
+          count = 1;
+        } else {
+          wait_port = topo.min_next_port(r, pkt.dst_router);
+          net_.base_vc_range(r, wait_port, first, count);
+        }
+        const OutputPort& out = router.outputs[wait_port];
+        // A busy output is draining at one phit per cycle — progress, not a
+        // hold/wait edge. Same for any candidate VC with a packet of
+        // credits: the head could be granted.
+        if (!out.wired() || out.busy()) continue;
+        bool any_free = false;
+        for (u32 w = first; w < first + count && w < out.credits.size(); ++w)
+          if (out.credits[w] >= need) {
+            any_free = true;
+            break;
+          }
+        if (any_free) continue;
+        const Channel& ch = net_.channel(out.channel);
+        if (ch.is_ejection()) continue;  // sink credits never run out
+        for (u32 w = first; w < first + count && w < out.credits.size();
+             ++w) {
+          adj_[u].push_back(
+              node_index(ch.dst_router, ch.dst_port, static_cast<VcId>(w)));
+          ++num_edges_;
+        }
+      }
+    }
+  }
+}
+
+std::vector<WaitGraph::Node> WaitGraph::find_ring_cycle() const {
+  // DFS over the subgraph induced on ring nodes: a cycle there is exactly a
+  // wait cycle whose members are all escape-ring VCs.
+  const std::size_t n = adj_.size();
+  std::vector<u8> color(n, 0);  // 0 = unvisited, 1 = on stack, 2 = done
+  std::vector<std::pair<u32, std::size_t>> frame;  // (node, next edge)
+  std::vector<u32> path;
+  for (u32 s = 0; s < n; ++s) {
+    if (is_ring_node_[s] == 0 || color[s] != 0 || adj_[s].empty()) continue;
+    frame.clear();
+    path.clear();
+    frame.emplace_back(s, 0);
+    color[s] = 1;
+    path.push_back(s);
+    while (!frame.empty()) {
+      const u32 u = frame.back().first;
+      if (frame.back().second < adj_[u].size()) {
+        const u32 v = adj_[u][frame.back().second++];
+        if (is_ring_node_[v] == 0) continue;
+        if (color[v] == 1) {
+          const auto it = std::find(path.begin(), path.end(), v);
+          std::vector<Node> cycle;
+          for (auto p = it; p != path.end(); ++p)
+            cycle.push_back(node_at(*p));
+          return cycle;
+        }
+        if (color[v] == 0) {
+          color[v] = 1;
+          frame.emplace_back(v, 0);
+          path.push_back(v);
+        }
+      } else {
+        color[u] = 2;
+        frame.pop_back();
+        path.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string WaitGraph::describe(const std::vector<Node>& cycle) {
+  std::string out;
+  char buf[48];
+  for (const Node& n : cycle) {
+    if (!out.empty()) out += " -> ";
+    std::snprintf(buf, sizeof buf, "r%u.p%uv%u", n.router,
+                  static_cast<u32>(n.port), static_cast<u32>(n.vc));
+    out += buf;
+  }
+  if (!cycle.empty()) out += " -> (back)";
+  return out;
+}
+
+}  // namespace ofar::verify

@@ -1,0 +1,72 @@
+// Wait-for graph over blocked packet heads (paper §IV-C deadlock argument).
+//
+// Nodes are input virtual channels, one per (router, port, vc). A directed
+// edge u -> v means: the head packet buffered in u has been stalled for
+// longer than the deadlock watchdog timeout, the output it structurally
+// waits for is idle, every candidate VC of that output lacks a packet of
+// credits, and v is one of those starved downstream input VCs. Such a head
+// cannot move until some packet in v drains — the classic hold/wait edge.
+//
+// The structural wait output is derived from the topology alone (the ring
+// output for in-ring packets, the ejection port at the destination router,
+// otherwise the minimal-path port), mirroring the telemetry layer's
+// forensics extraction: the routing policy is never consulted, so building
+// the graph consumes no RNG draws and cannot perturb the simulation.
+//
+// The deadlock-freedom claim this checks (paper §III/§IV-C): adaptive
+// traffic may form transient wait cycles through base VCs — those resolve
+// because OFAR can always fall back to the escape ring — but a wait cycle
+// lying ENTIRELY inside escape-ring VCs can never form, because bubble flow
+// control keeps one packet of free space circulating in the ring. The
+// auditor therefore flags exactly the all-ring cycles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ofar {
+class Network;
+}  // namespace ofar
+
+namespace ofar::verify {
+
+class WaitGraph {
+ public:
+  struct Node {
+    RouterId router = 0;
+    PortId port = 0;
+    VcId vc = 0;
+  };
+
+  explicit WaitGraph(const Network& net);
+
+  /// Extracts the hold/wait edges from the current network state. Only
+  /// heads stalled for more than `config().deadlock_timeout` cycles
+  /// contribute, so transient credit contention never shows up.
+  void build();
+
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// A wait cycle lying entirely inside escape-ring input VCs, in traversal
+  /// order; empty when none exists (the healthy state, and always the case
+  /// when the network has no escape ring).
+  std::vector<Node> find_ring_cycle() const;
+
+  /// "r12.p5v2 -> r13.p5v2 -> ..." for actionable violation reports.
+  static std::string describe(const std::vector<Node>& cycle);
+
+ private:
+  u32 node_index(RouterId r, PortId p, VcId v) const noexcept;
+  Node node_at(u32 index) const noexcept;
+
+  const Network& net_;
+  u32 ports_ = 0;
+  u32 max_vcs_ = 0;                        // flat index stride per port
+  std::vector<std::vector<u32>> adj_;      // per node, outgoing edges
+  std::vector<u8> is_ring_node_;           // per node
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ofar::verify

@@ -1,5 +1,6 @@
 // Unit tests for src/common: RNG determinism and distribution sanity, CLI
-// parsing, table formatting/CSV, config validation, parallel runner.
+// parsing, table formatting/CSV, config validation, parallel runner, and the
+// check.hpp invariant macros (abort paths via subprocess death tests).
 #include <gtest/gtest.h>
 
 #include <array>
@@ -8,6 +9,7 @@
 #include <fstream>
 #include <set>
 
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/config.hpp"
 #include "common/parallel.hpp"
@@ -219,6 +221,57 @@ TEST(SimConfig, RingKindRoundTrip) {
     EXPECT_EQ(parsed, k);
   }
 }
+
+// -------------------------------------------------------------- check ----
+
+// Death tests run the failing statement in a re-executed subprocess
+// ("threadsafe" style), so the abort genuinely fires and the stderr report
+// is matched without killing this test binary.
+
+TEST(Check, PassingConditionsAreNoOps) {
+  int evaluations = 0;
+  OFAR_CHECK(++evaluations == 1);
+  OFAR_CHECK_MSG(++evaluations == 2, "never printed");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(CheckDeath, CheckAbortsWithExpressionAndLocation) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const int x = 3;
+  EXPECT_DEATH(OFAR_CHECK(x == 4),
+               "OFAR_CHECK failed: x == 4 at .*test_common\\.cpp");
+}
+
+TEST(CheckDeath, CheckMsgAppendsTheMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(OFAR_CHECK_MSG(false, "queue overflowed"),
+               "OFAR_CHECK failed: false at .* — queue overflowed");
+}
+
+#ifndef NDEBUG
+
+TEST(CheckDeath, DcheckAbortsInCheckedBuilds) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(OFAR_DCHECK(1 + 1 == 3), "OFAR_CHECK failed: 1 \\+ 1 == 3");
+  EXPECT_DEATH(OFAR_DCHECK_MSG(false, "dcheck message"),
+               "OFAR_CHECK failed: false at .* — dcheck message");
+}
+
+#else
+
+TEST(Check, DcheckDoesNotEvaluateInReleaseBuilds) {
+  // The release definition keeps the operands inside unevaluated sizeof:
+  // still parsed and type-checked (a stale member name breaks the NDEBUG
+  // build), but never executed.
+  int evaluations = 0;
+  OFAR_DCHECK(++evaluations > 0);
+  OFAR_DCHECK_MSG(++evaluations > 0, "unused");
+  EXPECT_EQ(evaluations, 0);
+  OFAR_DCHECK(false);  // would abort in a checked build
+  OFAR_DCHECK_MSG(false, "ignored");
+}
+
+#endif
 
 // ----------------------------------------------------------- parallel ----
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Ban nondeterminism from the simulation core.
+
+The whole test strategy (golden digests, replay equality, thread-count
+independence — see tests/test_determinism.cpp) rests on the simulator being
+a pure function of (config, seed). This lint rejects the constructs that
+quietly break that property when they sneak into src/:
+
+  * C library RNGs (rand, srand, random) and std::random_device — all
+    randomness must flow through common/rng.hpp, seeded from SimConfig;
+  * wall-clock reads (std::chrono clocks, time(), clock(), gettimeofday)
+    outside src/stats/, where telemetry may timestamp records — simulation
+    decisions must depend on the cycle counter only;
+  * unordered associative containers — their iteration order varies across
+    libstdc++ versions and ASLR runs, so any loop over one is a latent
+    replay divergence. The core uses vectors indexed by dense ids.
+
+A finding can be waived for a reviewed reason with a trailing
+`// lint: allow(<rule>)` comment on the offending line.
+
+Usage: tools/lint_determinism.py [root]   (root defaults to the repo root)
+Exits 0 when clean, 1 with file:line diagnostics otherwise.
+"""
+
+import os
+import re
+import sys
+
+RULES = [
+    # (rule name, regex, paths it applies to, message)
+    (
+        "libc-rng",
+        re.compile(r"(?<![\w:.>])(?:s?rand|random)\s*\("),
+        "src/",
+        "C library RNG; use common/rng.hpp seeded from SimConfig",
+    ),
+    (
+        "random-device",
+        re.compile(r"std::random_device"),
+        "src/",
+        "hardware entropy source; use common/rng.hpp seeded from SimConfig",
+    ),
+    (
+        "wall-clock",
+        re.compile(
+            r"std::chrono::(?:steady_clock|system_clock|"
+            r"high_resolution_clock)|(?<![\w:.>])(?:time|clock)\s*\(\s*"
+            r"(?:NULL|nullptr)?\s*\)|gettimeofday"
+        ),
+        "src/",
+        "wall-clock read in simulation code; cycle decisions must use "
+        "Network::now() (telemetry timestamps belong in src/stats/)",
+    ),
+    (
+        "unordered-container",
+        re.compile(r"std::unordered_(?:map|set|multimap|multiset)"),
+        "src/",
+        "iteration order is not deterministic across runs; use a vector "
+        "indexed by dense ids (or sort before iterating)",
+    ),
+]
+
+# Reviewed exceptions by (rule, path prefix): telemetry may timestamp its
+# records with real time, which never feeds back into the simulation.
+ALLOWED_PREFIXES = {
+    ("wall-clock", "src/stats/"),
+}
+
+SUPPRESS = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)")
+
+SKIP_DIRS = {"CMakeFiles", "build", ".git"}
+
+
+def lint_file(root, relpath):
+    findings = []
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            suppressed = {m.group("rule") for m in SUPPRESS.finditer(line)}
+            code = line.split("//", 1)[0]
+            for rule, pattern, prefix, message in RULES:
+                if not relpath.startswith(prefix) or rule in suppressed:
+                    continue
+                if any(
+                    relpath.startswith(p)
+                    for r, p in ALLOWED_PREFIXES
+                    if r == rule
+                ):
+                    continue
+                if pattern.search(code):
+                    findings.append(
+                        f"{relpath}:{lineno}: [{rule}] {message}\n"
+                        f"    {line.rstrip()}"
+                    )
+    return findings
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir
+    )
+    root = os.path.abspath(root)
+    findings = []
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(os.path.join(root, "src")):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if not name.endswith((".hpp", ".cpp")):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            findings.extend(lint_file(root, rel))
+            checked += 1
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s) in {checked} "
+            "files — see tests/test_determinism.cpp for why these "
+            "constructs are banned",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
