@@ -11,61 +11,10 @@
 //
 // Default scale h=3 keeps collapsed points (the slowest to simulate)
 // affordable; pass --h 4 for the scale the figure benches use.
-#include "bench_common.hpp"
+//
+// Shim over the "ablation_congestion" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  BenchOptions opts = BenchOptions::parse(cli, 4'000, 6'000);
-  if (!cli.has("h")) opts.h = 3;
-  if (!reject_unknown(cli)) return 1;
-
-  struct Scenario {
-    const char* name;
-    TrafficPattern pattern;
-    double load;
-    bool reduced_vcs;
-  };
-  const std::vector<Scenario> scenarios = {
-      {"UN@0.45 full", TrafficPattern::uniform(), 0.45, false},
-      {"UN@0.80 full", TrafficPattern::uniform(), 0.80, false},
-      {"ADV+h@0.45 full", TrafficPattern::adversarial(opts.h), 0.45, false},
-      {"UN@0.45 reducedVC", TrafficPattern::uniform(), 0.45, true},
-      {"ADV+2@0.35 reducedVC", TrafficPattern::adversarial(2), 0.35, true},
-  };
-
-  std::printf("Congestion-throttle ablation on %s\n",
-              opts.config(RoutingKind::kOfar).summary().c_str());
-
-  Table table({"scenario", "accepted_plain", "stalled_plain",
-               "accepted_throttled", "stalled_throttled"});
-  for (const auto& sc : scenarios) {
-    SimConfig plain = opts.config(RoutingKind::kOfar);
-    plain.deadlock_timeout = 10'000;
-    if (sc.reduced_vcs) {
-      plain.ring = RingKind::kEmbedded;
-      plain.vcs_local = 2;
-      plain.vcs_global = 1;
-    }
-    SimConfig throttled = plain;
-    throttled.congestion_throttle = true;
-
-    SteadyResult r_plain, r_throttled;
-    std::vector<std::function<void()>> jobs = {
-        [&] { r_plain = run_steady(plain, sc.pattern, sc.load, opts.run); },
-        [&] {
-          r_throttled = run_steady(throttled, sc.pattern, sc.load, opts.run);
-        }};
-    run_parallel(jobs, opts.threads);
-
-    table.add_row({std::string(sc.name), r_plain.accepted_load,
-                   u64{r_plain.stalled_packets}, r_throttled.accepted_load,
-                   u64{r_throttled.stalled_packets}});
-    std::printf("%s done\n", sc.name);
-  }
-  table.print("Injection throttling vs collapse (accepted load; stalled = "
-              "deadlock-watchdog hits)");
-  dump_csv(table, opts, "ablation_congestion");
-  return 0;
+  return ofar::bench::run_preset_main("ablation_congestion", argc, argv);
 }

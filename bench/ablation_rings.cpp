@@ -9,81 +9,10 @@
 //       strides, and with different livelock budgets (max_ring_exits).
 //       Because the ring is only a deadlock drain, neither choice should
 //       move steady-state numbers noticeably (the paper's Fig. 8 argument).
-#include "bench_common.hpp"
-
-#include <memory>
-
-#include "topology/hamiltonian.hpp"
+//
+// Shim over the "ablation_rings" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  BenchOptions opts = BenchOptions::parse(cli, 4'000, 6'000);
-  if (!cli.has("h")) opts.h = 3;
-  if (!reject_unknown(cli)) return 1;
-
-  // ---- (1) edge-disjoint embedded rings per radix ----
-  Table rings({"h", "groups", "constructible_strides",
-               "edge_disjoint_rings", "paper_bound_h"});
-  for (u32 h = 2; h <= 6; ++h) {
-    Dragonfly topo(h);
-    std::vector<std::unique_ptr<HamiltonianRing>> disjoint;
-    u32 constructible = 0;
-    for (u32 stride = 1; stride < topo.groups(); ++stride) {
-      if (!HamiltonianRing::constructible(topo, stride)) continue;
-      ++constructible;
-      for (u32 variant = 0; variant < topo.a(); ++variant) {
-        auto candidate =
-            std::make_unique<HamiltonianRing>(topo, stride, variant);
-        bool ok = true;
-        for (const auto& existing : disjoint)
-          if (!HamiltonianRing::edge_disjoint(topo, *existing, *candidate)) {
-            ok = false;
-            break;
-          }
-        if (ok) {
-          disjoint.push_back(std::move(candidate));
-          break;  // at most one ring per stride (distinct global links)
-        }
-      }
-    }
-    rings.add_row({u64{h}, u64{topo.groups()}, u64{constructible},
-                   u64{disjoint.size()}, u64{h}});
-  }
-  rings.print("Edge-disjoint embedded Hamiltonian rings (greedy over "
-              "strides; paper §VII claims up to h exist)");
-  dump_csv(rings, opts, "ablation_rings_topology");
-
-  // ---- (2) OFAR sensitivity to the escape ring's shape ----
-  const TrafficPattern pattern = TrafficPattern::adversarial(opts.h);
-  const double load = 0.35;
-  Table perf({"config", "accepted", "avg_latency", "ring_entries"});
-  auto measure = [&](const std::string& label, const SimConfig& cfg) {
-    const SteadyResult r = run_steady(cfg, pattern, load, opts.run);
-    perf.add_row({label, r.accepted_load, r.avg_latency,
-                  u64{r.ring_entries}});
-    std::printf(".");
-    std::fflush(stdout);
-  };
-  {
-    Dragonfly topo(opts.h);
-    for (u32 stride : {1u, 2u, 3u}) {
-      if (!HamiltonianRing::constructible(topo, stride)) continue;
-      SimConfig cfg = opts.config(RoutingKind::kOfar);
-      cfg.ring = RingKind::kEmbedded;
-      cfg.ring_stride = stride;
-      measure("stride=" + std::to_string(stride), cfg);
-    }
-    for (u32 exits : {0u, 1u, 4u, 16u}) {
-      SimConfig cfg = opts.config(RoutingKind::kOfar);
-      cfg.max_ring_exits = exits;
-      measure("max_exits=" + std::to_string(exits), cfg);
-    }
-  }
-  std::printf("\n");
-  perf.print("OFAR under ADV+h at load " + Table::format(load) +
-             ": escape-ring shape sensitivity (should be flat)");
-  dump_csv(perf, opts, "ablation_rings_perf");
-  return 0;
+  return ofar::bench::run_preset_main("ablation_rings", argc, argv);
 }

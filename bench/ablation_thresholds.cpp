@@ -8,89 +8,10 @@
 //   - sweep of the absolute occupancy-gap guard this implementation adds
 //     (see MisrouteThresholds::min_gap),
 //   - the paper's static alternative (Th_min = 100%, Th_nonmin = 40%).
-#include "bench_common.hpp"
+//
+// Shim over the "ablation_thresholds" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  // Default scale h=3: the tuning trade-off shows at any radix, and the
-  // interesting regimes sit at/past saturation where collapsed
-  // configurations simulate slowly — h=3 keeps the full grid in minutes.
-  BenchOptions opts = BenchOptions::parse(cli, 4'000, 6'000);
-  if (!cli.has("h")) opts.h = 3;
-  if (!reject_unknown(cli)) return 1;
-
-  struct Regime {
-    const char* name;
-    TrafficPattern pattern;
-    double load;
-  };
-  // Low-load anchor + one regime per stress class: uniform overload (where
-  // eager deflection destabilises) and the two adversarial saturation
-  // points (where deflection is the whole mechanism).
-  const std::vector<Regime> regimes = {
-      {"UN@0.30", TrafficPattern::uniform(), 0.30},
-      {"UN@0.70", TrafficPattern::uniform(), 0.70},
-      {"ADV+2@0.45", TrafficPattern::adversarial(2), 0.45},
-      {"ADV+h@0.40", TrafficPattern::adversarial(opts.h), 0.40},
-  };
-
-  auto eval = [&](const SimConfig& cfg, Table& table,
-                  const std::string& label) {
-    std::vector<SteadyResult> results(regimes.size());
-    std::vector<std::function<void()>> jobs;
-    for (std::size_t i = 0; i < regimes.size(); ++i)
-      jobs.emplace_back([&, i] {
-        results[i] =
-            run_steady(cfg, regimes[i].pattern, regimes[i].load, opts.run);
-      });
-    run_parallel(jobs, opts.threads);
-    std::vector<Table::Cell> row = {label};
-    for (const auto& r : results) row.emplace_back(r.accepted_load);
-    table.add_row(std::move(row));
-    std::printf(".");
-    std::fflush(stdout);
-  };
-
-  std::vector<std::string> columns = {"config"};
-  for (const auto& r : regimes) columns.push_back(r.name);
-
-  std::printf("OFAR threshold ablation on %s\n",
-              opts.config(RoutingKind::kOfar).summary().c_str());
-
-  Table factors(columns);
-  for (const double f : {0.5, 0.7, 0.9, 1.0}) {
-    SimConfig cfg = opts.config(RoutingKind::kOfar);
-    cfg.thresholds.nonmin_factor = f;
-    eval(cfg, factors, "factor=" + Table::format(f));
-  }
-  std::printf("\n");
-  factors.print("Variable policy: Th_nonmin = factor * Q_min "
-                "(accepted load per regime)");
-  dump_csv(factors, opts, "ablation_factor");
-
-  Table gaps(columns);
-  for (const double g : {0.0, 0.1, 0.15, 0.25}) {
-    SimConfig cfg = opts.config(RoutingKind::kOfar);
-    cfg.thresholds.min_gap = g;
-    eval(cfg, gaps, "gap=" + Table::format(g));
-  }
-  std::printf("\n");
-  gaps.print("Occupancy-gap guard: candidate needs Q_min - Q >= gap");
-  dump_csv(gaps, opts, "ablation_gap");
-
-  Table modes(columns);
-  {
-    SimConfig cfg = opts.config(RoutingKind::kOfar);
-    eval(cfg, modes, "variable 0.9*Qmin (paper default)");
-    cfg.thresholds.variable = false;
-    cfg.thresholds.th_min = 1.0;
-    cfg.thresholds.th_nonmin_static = 0.4;
-    eval(cfg, modes, "static Thmin=100% Thnonmin=40%");
-  }
-  std::printf("\n");
-  modes.print("Variable vs static threshold policy (paper §IV-B)");
-  dump_csv(modes, opts, "ablation_policy_mode");
-  return 0;
+  return ofar::bench::run_preset_main("ablation_thresholds", argc, argv);
 }

@@ -1,6 +1,7 @@
 // Shared scaffolding for the figure-reproduction benches: common CLI
-// options (network scale, measurement windows, CSV output, thread count),
-// per-mechanism configuration, and table helpers.
+// options (network scale, measurement windows, CSV output, thread count,
+// result cache) and the load-grid helper. The figure logic itself lives in
+// presets.cpp; the per-figure binaries are thin shims over that registry.
 //
 // Every bench accepts:
 //   --h N           network radix (paper: 6; default 4 — see EXPERIMENTS.md)
@@ -14,46 +15,51 @@
 //   --metrics-full        also dump per-channel / per-VC records
 //   --audit               run the invariant auditor every 4096 cycles
 //   --audit-interval C    audit every C cycles (implies --audit)
+//   --cache-dir D   content-addressed result cache + resume journal
+//                   (shim binaries default to no cache; ofar_run defaults
+//                   to .ofar-cache)
+//   --no-cache      force caching off even where a default cache applies
+//   --stop-after N  stop scheduling new points after N have started
+//                   (deterministic interruption for resume tests)
 #pragma once
 
+#include <atomic>
 #include <cstdio>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/config.hpp"
-#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/spec.hpp"
 #include "stats/sink.hpp"
-#include "traffic/pattern.hpp"
 
 namespace ofar::bench {
-
-struct BenchOptions;
-inline void dump_csv(const Table& table, const BenchOptions& opts,
-                     const std::string& name);
 
 struct BenchOptions {
   u32 h = 4;
   u64 seed = 1;
-  RunParams run;
+  RunParams run;  ///< steady measurement windows (warmup/measure only)
   std::string csv_dir;
   unsigned threads = 0;
 
   // Telemetry sink shared by every simulation this bench runs (thread-safe;
   // parallel sweep points interleave whole records). Null when --metrics-out
-  // was not given. `run.metrics_sink` is wired by the figure drivers per
-  // mechanism so each record carries the mechanism label.
+  // was not given. The orchestrator labels each record "<case>|<mechanism>".
   std::shared_ptr<MetricsSink> metrics;
   Cycle metrics_interval = 1'000;
   bool metrics_full = false;
 
-  // Invariant-audit period (0 = off). Mirrored into run.audit_interval for
-  // the steady drivers; the transient/burst drivers read it directly.
+  // Invariant-audit period (0 = off), applied to every executed point.
   Cycle audit_interval = 0;
+
+  // Orchestrator knobs: every bench executes through run_points() now.
+  std::string cache_dir;  ///< "" = caching off (unless a default applies)
+  bool no_cache = false;  ///< --no-cache wins over any default cache dir
+  std::size_t stop_after = 0;
+  const std::atomic<bool>* stop_flag = nullptr;  ///< SIGINT, set by runner
 
   static BenchOptions parse(const CommandLine& cli, Cycle warmup_default,
                             Cycle measure_default) {
@@ -73,13 +79,12 @@ struct BenchOptions {
         std::fprintf(stderr, "warning: could not open %s; telemetry disabled\n",
                      metrics_out.c_str());
     }
-    o.run.metrics_sink = o.metrics.get();
-    o.run.metrics_interval = o.metrics_interval;
-    o.run.metrics_full = o.metrics_full;
     o.audit_interval = cli.get_uint("audit-interval", 0);
     if (cli.get_flag("audit") && o.audit_interval == 0)
       o.audit_interval = 4'096;
-    o.run.audit_interval = o.audit_interval;
+    o.cache_dir = cli.get_string("cache-dir", "");
+    o.no_cache = cli.get_flag("no-cache");
+    o.stop_after = static_cast<std::size_t>(cli.get_uint("stop-after", 0));
     return o;
   }
 
@@ -103,10 +108,7 @@ inline std::vector<double> load_grid(const CommandLine& cli, double lo,
   lo = cli.get_double("min-load", lo);
   hi = cli.get_double("max-load", hi);
   points = static_cast<u32>(cli.get_uint("points", points));
-  std::vector<double> loads;
-  for (u32 i = 0; i < points; ++i)
-    loads.push_back(lo + (hi - lo) * i / (points > 1 ? points - 1 : 1));
-  return loads;
+  return expand_load_grid(lo, hi, points);
 }
 
 /// Rejects unknown CLI keys with a readable message. Returns false on typo.
@@ -117,75 +119,6 @@ inline bool reject_unknown(const CommandLine& cli) {
     ok = false;
   }
   return ok;
-}
-
-/// One curve of a steady-state figure: a labelled mechanism configuration.
-struct MechanismSpec {
-  std::string label;
-  SimConfig cfg;
-};
-
-/// Shared driver for the steady-state figures (Figs. 3, 4, 5, 8, 9): sweeps
-/// `loads` for every mechanism, prints the latency (a) and throughput (b)
-/// tables, and dumps both as CSV. Saturated points report latency as-is —
-/// the paper's plots clip them visually instead.
-inline void steady_figure(const std::string& figure, const std::string& title,
-                          const BenchOptions& opts,
-                          const TrafficPattern& pattern,
-                          const std::vector<double>& loads,
-                          const std::vector<MechanismSpec>& specs) {
-  std::vector<std::string> columns = {"offered_load"};
-  for (const auto& spec : specs) columns.push_back(spec.label);
-
-  Table latency(columns);
-  Table throughput(columns);
-  Table extras({"mechanism", "offered_load", "accepted", "mean_hops",
-                "local_mis", "global_mis", "ring_entries", "stalled"});
-
-  // All (mechanism, load) points are independent simulations.
-  std::vector<std::vector<SweepPoint>> results(specs.size());
-  std::vector<std::function<void()>> jobs;
-  for (std::size_t m = 0; m < specs.size(); ++m) {
-    jobs.emplace_back([&, m] {
-      RunParams run = opts.run;
-      run.metrics_label = specs[m].label;  // records name their mechanism
-      results[m] = run_load_sweep(specs[m].cfg, pattern, loads, run,
-                                  /*threads=*/1);
-    });
-  }
-  run_parallel(jobs, opts.threads);
-
-  for (std::size_t i = 0; i < loads.size(); ++i) {
-    std::vector<Table::Cell> lat_row = {loads[i]};
-    std::vector<Table::Cell> thr_row = {loads[i]};
-    for (std::size_t m = 0; m < specs.size(); ++m) {
-      const SteadyResult& r = results[m][i].result;
-      lat_row.emplace_back(r.avg_latency);
-      thr_row.emplace_back(r.accepted_load);
-      extras.add_row({specs[m].label, loads[i], r.accepted_load, r.mean_hops,
-                      u64{r.local_misroutes}, u64{r.global_misroutes},
-                      u64{r.ring_entries}, u64{r.stalled_packets}});
-    }
-    latency.add_row(std::move(lat_row));
-    throughput.add_row(std::move(thr_row));
-  }
-
-  latency.print(title + " — (a) average latency [cycles]");
-  throughput.print(title + " — (b) accepted load [phits/(node*cycle)]");
-  dump_csv(latency, opts, figure + "_latency");
-  dump_csv(throughput, opts, figure + "_throughput");
-  dump_csv(extras, opts, figure + "_detail");
-}
-
-/// Writes `table` as <csv_dir>/<name>.csv unless csv_dir is empty.
-inline void dump_csv(const Table& table, const BenchOptions& opts,
-                     const std::string& name) {
-  if (opts.csv_dir.empty()) return;
-  const std::string path = opts.csv_dir + "/" + name + ".csv";
-  if (!table.write_csv(path))
-    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
-  else
-    std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace ofar::bench

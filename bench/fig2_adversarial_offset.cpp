@@ -9,54 +9,10 @@
 //              below OFAR's own saturation for all offsets),
 //              --with-ofar true to add the OFAR column,
 //              --analytic true to print the §III closed-form ceilings.
-#include "bench_common.hpp"
-#include "core/analysis.hpp"
+//
+// Shim over the "fig2" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 5'000, 6'000);
-  const double offered = cli.get_double("offered", 0.35);
-  const bool with_ofar = cli.get_bool("with-ofar", true);
-  const bool analytic = cli.get_bool("analytic", true);
-  const u32 max_offset = static_cast<u32>(
-      cli.get_uint("max-offset", 2 * opts.h + 2));
-  if (!reject_unknown(cli)) return 1;
-
-  const SimConfig val_cfg = opts.config(RoutingKind::kVal);
-  const SimConfig ofar_cfg = opts.config(RoutingKind::kOfar);
-  std::printf("Fig. 2b (ADV+N offset sweep) on %s, offered %.2f\n",
-              val_cfg.summary().c_str(), offered);
-
-  if (analytic) {
-    std::printf("§III analytic ceilings: UN/min 1.0 | Valiant global 0.5 | "
-                "minimal single global link 1/(2h^2) = %.4f | "
-                "local-link funnel at N = k*h: 1/h = %.4f\n",
-                1.0 / (2.0 * opts.h * opts.h), 1.0 / opts.h);
-  }
-
-  std::vector<std::string> columns = {"offset", "VAL_predicted", "VAL"};
-  if (with_ofar) columns.push_back("OFAR");
-  Table table(columns);
-  const Dragonfly topo(opts.h);
-
-  for (u32 offset = 1; offset <= max_offset; ++offset) {
-    const TrafficPattern pattern = TrafficPattern::adversarial(offset);
-    std::vector<Table::Cell> row = {u64{offset}};
-    row.emplace_back(analysis::valiant_adv_offset_ceiling(topo, offset));
-    row.emplace_back(
-        run_steady(val_cfg, pattern, offered, opts.run).accepted_load);
-    if (with_ofar)
-      row.emplace_back(
-          run_steady(ofar_cfg, pattern, offered, opts.run).accepted_load);
-    table.add_row(std::move(row));
-    std::printf(".");
-    std::fflush(stdout);
-  }
-  std::printf("\n");
-  table.print("Fig. 2b: accepted load vs ADV offset (dips at multiples of "
-              "h=" + std::to_string(opts.h) + ")");
-  dump_csv(table, opts, "fig2b_offset");
-  return 0;
+  return ofar::bench::run_preset_main("fig2", argc, argv);
 }

@@ -6,24 +6,11 @@
 // load; OFAR/OFAR-L saturate later than MIN and PB; PB latency visibly
 // higher at low load due to spurious misrouting; local misrouting makes
 // little difference under UN.
-#include "bench_common.hpp"
+//
+// Shim over the "fig3" preset (presets.cpp); the historical CLI keeps
+// working, and `ofar_run --preset fig3` is the cached/resumable spelling.
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 5'000, 6'000);
-  const std::vector<double> loads = load_grid(cli, 0.05, 0.60, 8);
-  if (!reject_unknown(cli)) return 1;
-
-  std::vector<MechanismSpec> specs = {
-      {"MIN", opts.config(RoutingKind::kMin)},
-      {"PB", opts.config(RoutingKind::kPb)},
-      {"OFAR", opts.config(RoutingKind::kOfar)},
-      {"OFAR-L", opts.config(RoutingKind::kOfarL)},
-  };
-  std::printf("Fig. 3 (UN) on %s\n", specs[0].cfg.summary().c_str());
-  steady_figure("fig3", "Fig. 3: uniform random traffic (UN)", opts,
-                TrafficPattern::uniform(), loads, specs);
-  return 0;
+  return ofar::bench::run_preset_main("fig3", argc, argv);
 }

@@ -6,24 +6,10 @@
 // Expected shape (paper §VI-A): OFAR shows the best latency and saturates
 // highest (paper: 0.45 vs PB's 0.38 at h=6); OFAR beats OFAR-L slightly;
 // VAL sits lowest of the load-balanced mechanisms.
-#include "bench_common.hpp"
+//
+// Shim over the "fig4" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 5'000, 6'000);
-  const std::vector<double> loads = load_grid(cli, 0.05, 0.45, 8);
-  if (!reject_unknown(cli)) return 1;
-
-  std::vector<MechanismSpec> specs = {
-      {"VAL", opts.config(RoutingKind::kVal)},
-      {"PB", opts.config(RoutingKind::kPb)},
-      {"OFAR", opts.config(RoutingKind::kOfar)},
-      {"OFAR-L", opts.config(RoutingKind::kOfarL)},
-  };
-  std::printf("Fig. 4 (ADV+2) on %s\n", specs[0].cfg.summary().c_str());
-  steady_figure("fig4", "Fig. 4: adversarial +2 traffic (ADV+2)", opts,
-                TrafficPattern::adversarial(2), loads, specs);
-  return 0;
+  return ofar::bench::run_preset_main("fig4", argc, argv);
 }

@@ -7,27 +7,10 @@
 // misroute escapes the ceiling (paper: OFAR 0.36 vs 1/6 = 0.166 at h=6).
 //
 // The analytic ceilings are printed alongside so the gap is visible.
-#include "bench_common.hpp"
+//
+// Shim over the "fig5" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 5'000, 6'000);
-  const std::vector<double> loads = load_grid(cli, 0.05, 0.45, 8);
-  if (!reject_unknown(cli)) return 1;
-
-  std::vector<MechanismSpec> specs = {
-      {"VAL", opts.config(RoutingKind::kVal)},
-      {"PB", opts.config(RoutingKind::kPb)},
-      {"OFAR", opts.config(RoutingKind::kOfar)},
-      {"OFAR-L", opts.config(RoutingKind::kOfarL)},
-  };
-  std::printf("Fig. 5 (ADV+h) on %s\n", specs[0].cfg.summary().c_str());
-  std::printf("analytic ceilings: local-link 1/h = %.4f | Valiant global "
-              "0.5\n",
-              1.0 / opts.h);
-  steady_figure("fig5", "Fig. 5: worst-case adversarial traffic (ADV+h)",
-                opts, TrafficPattern::adversarial(opts.h), loads, specs);
-  return 0;
+  return ofar::bench::run_preset_main("fig5", argc, argv);
 }

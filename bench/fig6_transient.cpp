@@ -10,78 +10,10 @@
 // Expected shape: all mechanisms converge instantly on (2); OFAR adapts
 // almost instantaneously on (1) and (3) while PB shows an adaptation
 // period (its congestion information is remote and delayed).
-#include "bench_common.hpp"
+//
+// Shim over the "fig6" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 0, 0);
-  TransientParams params;
-  params.warmup = cli.get_uint("switch-at", 20'000);
-  params.horizon = cli.get_uint("horizon", 12'000);
-  params.lead = cli.get_uint("lead", 2'000);
-  params.drain = cli.get_uint("drain", 20'000);
-  params.bucket = static_cast<u32>(cli.get_uint("bucket", 500));
-  const double load_main = cli.get_double("load", 0.14);
-  const double load_advh = cli.get_double("load-advh", 0.12);
-  if (!reject_unknown(cli)) return 1;
-
-  struct Transition {
-    const char* name;
-    TrafficPattern a, b;
-    double load;
-  };
-  const std::vector<Transition> transitions = {
-      {"UN->ADV+2", TrafficPattern::uniform(), TrafficPattern::adversarial(2),
-       load_main},
-      {"ADV+2->UN", TrafficPattern::adversarial(2), TrafficPattern::uniform(),
-       load_main},
-      {"ADV+2->ADV+h", TrafficPattern::adversarial(2),
-       TrafficPattern::adversarial(opts.h), load_advh},
-  };
-  const std::vector<std::pair<const char*, RoutingKind>> mechanisms = {
-      {"PB", RoutingKind::kPb},
-      {"OFAR", RoutingKind::kOfar},
-      {"OFAR-L", RoutingKind::kOfarL},
-  };
-
-  std::printf("Fig. 6 (transient) on %s\n",
-              opts.config(RoutingKind::kOfar).summary().c_str());
-
-  for (const auto& tr : transitions) {
-    std::vector<std::string> columns = {"cycle_rel"};
-    for (const auto& [label, kind] : mechanisms) columns.push_back(label);
-    Table table(columns);
-
-    std::vector<TransientResult> results(mechanisms.size());
-    std::vector<std::function<void()>> jobs;
-    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
-      jobs.emplace_back([&, m] {
-        TransientParams p = params;
-        p.audit_interval = opts.audit_interval;
-        p.metrics_sink = opts.metrics.get();
-        p.metrics_interval = opts.metrics_interval;
-        p.metrics_full = opts.metrics_full;
-        p.metrics_label = std::string(tr.name) + "|" + mechanisms[m].first;
-        results[m] = run_transient(opts.config(mechanisms[m].second), tr.a,
-                                   tr.load, tr.b, tr.load, p);
-      });
-    }
-    run_parallel(jobs, opts.threads);
-
-    for (std::size_t i = 0; i < results[0].series.size(); ++i) {
-      std::vector<Table::Cell> row = {i64{results[0].series[i].cycle_rel}};
-      for (std::size_t m = 0; m < mechanisms.size(); ++m)
-        row.emplace_back(results[m].series[i].mean_latency);
-      table.add_row(std::move(row));
-    }
-    table.print(std::string("Fig. 6: mean latency by send-cycle, ") +
-                tr.name + " @ load " + Table::format(tr.load));
-    std::string tag = tr.name;
-    for (auto& c : tag)
-      if (c == '>' || c == '+' || c == '-') c = '_';
-    dump_csv(table, opts, "fig6_" + tag);
-  }
-  return 0;
+  return ofar::bench::run_preset_main("fig6", argc, argv);
 }

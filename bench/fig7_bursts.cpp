@@ -11,79 +11,10 @@
 // --packets scales the per-node budget (paper: 2000; default 400 keeps the
 // default h=4 run in minutes on one core — the normalised ratios are
 // insensitive to the budget once bursts dwarf the drain tail).
-#include "bench_common.hpp"
+//
+// Shim over the "fig7" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 0, 0);
-  const u32 packets = static_cast<u32>(cli.get_uint("packets", 400));
-  const Cycle max_cycles = cli.get_uint("max-cycles", 20'000'000);
-  if (!reject_unknown(cli)) return 1;
-
-  const u32 h = opts.h;
-  struct Workload {
-    const char* name;
-    TrafficPattern pattern;
-  };
-  const std::vector<Workload> workloads = {
-      {"UN", TrafficPattern::uniform()},
-      {"ADV+2", TrafficPattern::adversarial(2)},
-      {"ADV+h", TrafficPattern::adversarial(h)},
-      {"MIX1", TrafficPattern::mix({{PatternKind::kUniform, 0, 0.8},
-                                    {PatternKind::kAdversarial, 1, 0.1},
-                                    {PatternKind::kAdversarial, h, 0.1}})},
-      {"MIX2", TrafficPattern::mix({{PatternKind::kUniform, 0, 0.6},
-                                    {PatternKind::kAdversarial, 1, 0.2},
-                                    {PatternKind::kAdversarial, h, 0.2}})},
-      {"MIX3", TrafficPattern::mix({{PatternKind::kUniform, 0, 0.2},
-                                    {PatternKind::kAdversarial, 1, 0.4},
-                                    {PatternKind::kAdversarial, h, 0.4}})},
-  };
-  const std::vector<std::pair<const char*, RoutingKind>> mechanisms = {
-      {"PB", RoutingKind::kPb},
-      {"OFAR", RoutingKind::kOfar},
-      {"OFAR-L", RoutingKind::kOfarL},
-  };
-
-  std::printf("Fig. 7 (bursts, %u packets/node) on %s\n", packets,
-              opts.config(RoutingKind::kOfar).summary().c_str());
-
-  Table table({"workload", "PB_cycles", "OFAR_cycles", "OFAR-L_cycles",
-               "OFAR/PB", "OFAR-L/PB"});
-  double ratio_sum = 0.0;
-
-  for (const auto& wl : workloads) {
-    std::vector<BurstResult> results(mechanisms.size());
-    std::vector<std::function<void()>> jobs;
-    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
-      jobs.emplace_back([&, m] {
-        results[m] = run_burst(opts.config(mechanisms[m].second), wl.pattern,
-                               packets, max_cycles, opts.audit_interval);
-      });
-    }
-    run_parallel(jobs, opts.threads);
-    for (std::size_t m = 0; m < mechanisms.size(); ++m)
-      if (!results[m].completed)
-        std::fprintf(stderr, "warning: %s on %s hit max-cycles\n",
-                     mechanisms[m].first, wl.name);
-
-    const double pb = static_cast<double>(results[0].completion);
-    const double ofar = static_cast<double>(results[1].completion);
-    const double ofarl = static_cast<double>(results[2].completion);
-    ratio_sum += ofar / pb;
-    table.add_row({std::string(wl.name), u64{results[0].completion},
-                   u64{results[1].completion}, u64{results[2].completion},
-                   ofar / pb, ofarl / pb});
-    std::printf("%-6s done (OFAR/PB = %.3f)\n", wl.name, ofar / pb);
-  }
-
-  table.print("Fig. 7: burst consumption time (normalised to PB, lower is "
-              "better)");
-  std::printf("\nmean OFAR/PB ratio over the %zu workloads: %.3f "
-              "(paper: 0.695, i.e. a 43.8%% speedup)\n",
-              workloads.size(), ratio_sum / workloads.size());
-  dump_csv(table, opts, "fig7_bursts");
-  return 0;
+  return ofar::bench::run_preset_main("fig7", argc, argv);
 }

@@ -5,37 +5,10 @@
 // — so the zero-wire embedded implementation suffices.
 //
 // Runs both UN and ADV+2 sweeps; --pattern restricts to one.
-#include "bench_common.hpp"
+//
+// Shim over the "fig8" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 5'000, 6'000);
-  const std::string which = cli.get_string("pattern", "both");
-  const std::vector<double> un_loads = load_grid(cli, 0.05, 0.60, 6);
-  if (!reject_unknown(cli)) return 1;
-
-  SimConfig physical = opts.config(RoutingKind::kOfar);
-  physical.ring = RingKind::kPhysical;
-  SimConfig embedded = opts.config(RoutingKind::kOfar);
-  embedded.ring = RingKind::kEmbedded;
-  const std::vector<MechanismSpec> specs = {
-      {"OFAR-physical", physical},
-      {"OFAR-embedded", embedded},
-  };
-
-  std::printf("Fig. 8 (ring variants) on %s\n", physical.summary().c_str());
-
-  if (which == "both" || which == "UN") {
-    steady_figure("fig8_un", "Fig. 8: physical vs embedded ring, UN", opts,
-                  TrafficPattern::uniform(), un_loads, specs);
-  }
-  if (which == "both" || which == "ADV") {
-    std::vector<double> adv_loads;
-    for (double l : un_loads) adv_loads.push_back(l * 0.45 / 0.60);
-    steady_figure("fig8_adv2", "Fig. 8: physical vs embedded ring, ADV+2",
-                  opts, TrafficPattern::adversarial(2), adv_loads, specs);
-  }
-  return 0;
+  return ofar::bench::run_preset_main("fig8", argc, argv);
 }

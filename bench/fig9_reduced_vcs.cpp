@@ -9,52 +9,10 @@
 // We print accepted load AND the deadlock-watchdog counters, which make
 // the collapse mechanism visible (thousands of heads stalled for >10k
 // cycles while the ring trickles).
-#include "bench_common.hpp"
+//
+// Shim over the "fig9" preset (presets.cpp).
+#include "presets.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ofar;
-  using namespace ofar::bench;
-  CommandLine cli(argc, argv);
-  const BenchOptions opts = BenchOptions::parse(cli, 5'000, 6'000);
-  const std::vector<double> loads = load_grid(cli, 0.15, 0.6, 4);
-  if (!reject_unknown(cli)) return 1;
-
-  SimConfig reduced = opts.config(RoutingKind::kOfar);
-  reduced.ring = RingKind::kEmbedded;
-  reduced.vcs_local = 2;
-  reduced.vcs_global = 1;
-  reduced.deadlock_timeout = 10'000;
-  SimConfig full = opts.config(RoutingKind::kOfar);
-  full.deadlock_timeout = 10'000;
-
-  std::printf("Fig. 9 (reduced VCs: 2 local / 1 global, embedded ring) on "
-              "%s\n",
-              reduced.summary().c_str());
-
-  Table table({"pattern", "offered", "accepted_reduced", "stalled_reduced",
-               "accepted_full", "stalled_full"});
-  const std::vector<std::pair<const char*, TrafficPattern>> patterns = {
-      {"UN", TrafficPattern::uniform()},
-      {"ADV+2", TrafficPattern::adversarial(2)},
-      {"ADV+h", TrafficPattern::adversarial(opts.h)},
-  };
-  for (const auto& [name, pattern] : patterns) {
-    for (const double load : loads) {
-      SteadyResult r_red, r_full;
-      std::vector<std::function<void()>> jobs = {
-          [&] { r_red = run_steady(reduced, pattern, load, opts.run); },
-          [&] { r_full = run_steady(full, pattern, load, opts.run); }};
-      run_parallel(jobs, opts.threads);
-      table.add_row({std::string(name), load, r_red.accepted_load,
-                     u64{r_red.stalled_packets}, r_full.accepted_load,
-                     u64{r_full.stalled_packets}});
-      std::printf(".");
-      std::fflush(stdout);
-    }
-  }
-  std::printf("\n");
-  table.print("Fig. 9: throughput with reduced VCs (vs the full 3l/2g "
-              "configuration)");
-  dump_csv(table, opts, "fig9_reduced_vcs");
-  return 0;
+  return ofar::bench::run_preset_main("fig9", argc, argv);
 }

@@ -1,0 +1,85 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// Used by the experiment-orchestration layer for two inputs that must be
+// robust against hand-edited or half-written files: experiment spec files
+// (core/spec.hpp) and the result-cache journal (core/orchestrator.hpp).
+// Design goals, in order: precise error messages (line:column), exact
+// round-trip of numbers (doubles parse via strtod, integers are kept as i64
+// while they fit), and zero dependencies. Not a goal: speed on multi-MB
+// documents — specs and journal lines are tiny.
+//
+// Object member order is preserved (vector of pairs, not a map): iteration
+// is deterministic and mirrors the input, which the determinism lint
+// demands of anything the simulator reads.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ofar {
+
+class JsonValue {
+ public:
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_double() const noexcept { return number_; }
+  /// Numbers written without fraction/exponent also retain an exact i64
+  /// (when representable); as_int truncates otherwise.
+  i64 as_int() const noexcept { return int_valid_ ? int_ : static_cast<i64>(number_); }
+  bool has_exact_int() const noexcept { return int_valid_; }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const noexcept;
+
+  // ---- construction (parser + tests) ----
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_int(i64 v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  i64 int_ = 0;
+  bool int_valid_ = false;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document. Returns false and fills `error`
+/// ("line L, column C: message") on malformed input; trailing non-space
+/// content after the document is an error.
+bool json_parse(const std::string& text, JsonValue& out, std::string& error);
+
+/// Reads and parses a whole file. `error` distinguishes I/O failures
+/// ("cannot read <path>") from parse failures ("<path>: line L, ...").
+bool json_parse_file(const std::string& path, JsonValue& out,
+                     std::string& error);
+
+}  // namespace ofar

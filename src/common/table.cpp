@@ -74,4 +74,16 @@ bool Table::write_csv(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+bool dump_csv(const Table& table, const std::string& dir,
+              const std::string& name) {
+  if (dir.empty()) return true;
+  const std::string path = dir + "/" + name + ".csv";
+  if (!table.write_csv(path)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace ofar

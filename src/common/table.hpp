@@ -36,4 +36,11 @@ class Table {
   std::vector<std::vector<Cell>> rows_;
 };
 
+/// Writes `table` as <dir>/<name>.csv unless `dir` is empty (disabled).
+/// Prints "wrote <path>" on success and a warning to stderr on failure;
+/// returns false only on I/O failure. This is the one CSV-emission helper
+/// every experiment driver uses, so output layout stays uniform.
+bool dump_csv(const Table& table, const std::string& dir,
+              const std::string& name);
+
 }  // namespace ofar

@@ -10,42 +10,32 @@
 
 namespace ofar {
 
-namespace {
-
-/// Telemetry config for one run: sink/interval/full from the params plus a
-/// per-run label ("<label>|<suffix>", either part optional).
-TelemetryConfig make_telemetry_config(MetricsSink* sink, Cycle interval,
-                                      bool full, const std::string& label,
-                                      const std::string& suffix) {
+void ExperimentCommon::arm(Network& net, const std::string& label_suffix)
+    const {
+  if (audit_interval > 0) net.enable_audit(audit_interval);
+  if (metrics_sink == nullptr) return;
   TelemetryConfig tc;
-  tc.sink = sink;
-  tc.interval = interval;
-  tc.full_dump = full;
-  if (label.empty()) {
-    tc.label = suffix;
-  } else if (suffix.empty()) {
-    tc.label = label;
+  tc.sink = metrics_sink;
+  tc.interval = metrics_interval;
+  tc.full_dump = metrics_full;
+  if (metrics_label.empty()) {
+    tc.label = label_suffix;
+  } else if (label_suffix.empty()) {
+    tc.label = metrics_label;
   } else {
-    tc.label = label + "|" + suffix;
+    tc.label = metrics_label + "|" + label_suffix;
   }
-  return tc;
+  net.enable_telemetry(tc);
 }
-
-}  // namespace
 
 SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
                         double load, const RunParams& params) {
   Network net(cfg);
-  if (params.audit_interval > 0) net.enable_audit(params.audit_interval);
   net.set_traffic(
       std::make_unique<BernoulliSource>(pattern, load, cfg.seed));
-  if (params.metrics_sink != nullptr) {
-    char suffix[32];
-    std::snprintf(suffix, sizeof suffix, "load=%g", load);
-    net.enable_telemetry(make_telemetry_config(
-        params.metrics_sink, params.metrics_interval, params.metrics_full,
-        params.metrics_label, suffix));
-  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, "load=%g", load);
+  params.arm(net, suffix);
   net.run(params.warmup);
   net.stats().reset(net.now());
   net.run(params.measure);
@@ -88,18 +78,13 @@ TransientResult run_transient(const SimConfig& cfg,
                               const TrafficPattern& pattern_b, double load_b,
                               const TransientParams& params) {
   Network net(cfg);
-  if (params.audit_interval > 0) net.enable_audit(params.audit_interval);
   const Cycle switch_at = params.warmup;
   std::vector<PhasedSource::Phase> phases;
   phases.push_back({pattern_a, load_a, switch_at, /*tag_base=*/0});
   phases.push_back({pattern_b, load_b, /*until=*/0,
                     static_cast<u16>(pattern_a.components().size())});
   net.set_traffic(std::make_unique<PhasedSource>(std::move(phases), cfg.seed));
-  if (params.metrics_sink != nullptr) {
-    net.enable_telemetry(make_telemetry_config(
-        params.metrics_sink, params.metrics_interval, params.metrics_full,
-        params.metrics_label, ""));
-  }
+  params.arm(net);
 
   const Cycle series_start = switch_at > params.lead ? switch_at - params.lead
                                                      : 0;
@@ -123,23 +108,23 @@ TransientResult run_transient(const SimConfig& cfg,
 }
 
 BurstResult run_burst(const SimConfig& cfg, const TrafficPattern& pattern,
-                      u32 packets_per_node, Cycle max_cycles,
-                      Cycle audit_interval) {
+                      const BurstParams& params) {
   Network net(cfg);
-  if (audit_interval > 0) net.enable_audit(audit_interval);
-  auto source =
-      std::make_unique<BurstSource>(pattern, packets_per_node, cfg.seed);
+  auto source = std::make_unique<BurstSource>(
+      pattern, params.packets_per_node, cfg.seed);
   BurstSource* burst = source.get();
   net.set_traffic(std::move(source));
+  params.arm(net);
 
   BurstResult out;
-  while (net.now() < max_cycles) {
+  while (net.now() < params.max_cycles) {
     net.step();
     if (burst->finished() && net.drained()) {
       out.completed = true;
       break;
     }
   }
+  if (net.telemetry() != nullptr) net.telemetry()->write_summary(net);
   out.completion = net.now();
   out.delivered_packets = net.stats().delivered_packets();
   out.avg_latency = net.stats().latency().mean();

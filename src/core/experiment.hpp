@@ -7,6 +7,10 @@
 //    to the cycle each packet was sent (Fig. 6);
 //  - run_burst: fixed per-node packet budget injected as fast as possible,
 //    measuring the cycle the network drains (Fig. 7).
+//
+// For whole experiment grids (figure x mechanism x load x seed) with
+// caching and resume, drive these through core/orchestrator.hpp instead of
+// calling them point-by-point.
 #pragma once
 
 #include <string>
@@ -18,24 +22,47 @@
 namespace ofar {
 
 class MetricsSink;
+class Network;
 
-struct RunParams {
-  Cycle warmup = 20'000;
-  Cycle measure = 30'000;
-
+/// Knobs shared by every experiment protocol: invariant auditing and
+/// opt-in telemetry. Both are read-only instrumentation — results are
+/// bit-identical per seed whether they are enabled or not. A new shared
+/// knob is added here once and every protocol (steady, transient, burst)
+/// picks it up.
+struct ExperimentCommon {
   /// Cycles between invariant-auditor runs (Network::enable_audit);
-  /// 0 disables. Auditing is read-only: results are bit-identical either
-  /// way, the run just aborts with a report if an invariant breaks.
+  /// 0 disables. Auditing is read-only: the run just aborts with a report
+  /// if an invariant breaks.
   Cycle audit_interval = 0;
 
   // ---- optional telemetry (stats/metrics.hpp); active when sink != null.
   // The sink is shared, not owned: a sweep points every run at one file and
-  // each record carries `metrics_label` (plus a "load=" suffix) to tell the
+  // each record carries `metrics_label` (plus a per-run suffix) to tell the
   // runs apart.
   MetricsSink* metrics_sink = nullptr;
   Cycle metrics_interval = 1'000;
   std::string metrics_label;
   bool metrics_full = false;
+
+  /// Wires auditing and telemetry into a freshly built network. The
+  /// telemetry record label is "<metrics_label>|<label_suffix>" (either
+  /// part optional). Called by every run_* driver before the first cycle.
+  void arm(Network& net, const std::string& label_suffix = "") const;
+};
+
+struct RunParams : ExperimentCommon {
+  Cycle warmup = 20'000;
+  Cycle measure = 30'000;
+
+  /// RunParams with just the measurement windows set. Spelled as a factory
+  /// because partial brace-init of RunParams trips
+  /// -Wmissing-field-initializers on the optional telemetry members.
+  static RunParams windows(Cycle warmup, Cycle measure) {
+    RunParams p;
+    p.warmup = warmup;
+    p.measure = measure;
+    return p;
+  }
 };
 
 struct SteadyResult {
@@ -51,16 +78,6 @@ struct SteadyResult {
   u64 worst_stall = 0;      ///< longest observed head-of-line wait, cycles
   double mean_hops = 0.0;
 };
-
-/// RunParams with just the measurement windows set. Spelled as a function
-/// because partial brace-init of RunParams trips
-/// -Wmissing-field-initializers on the optional telemetry members.
-inline RunParams run_windows(Cycle warmup, Cycle measure) {
-  RunParams p;
-  p.warmup = warmup;
-  p.measure = measure;
-  return p;
-}
 
 /// One steady-state point: fresh network, Bernoulli traffic at `load`.
 SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
@@ -78,20 +95,12 @@ std::vector<SweepPoint> run_load_sweep(const SimConfig& cfg,
                                        const RunParams& params = {},
                                        unsigned threads = 0);
 
-struct TransientParams {
+struct TransientParams : ExperimentCommon {
   Cycle warmup = 30'000;      ///< cycles of pattern A before the switch
   Cycle horizon = 20'000;     ///< observed birth-cycle span after the switch
   Cycle lead = 2'000;         ///< observed span before the switch
   Cycle drain = 30'000;       ///< extra cycles so late packets deliver
   u32 bucket = 100;           ///< series bucket width, cycles
-  Cycle audit_interval = 0;   ///< invariant-audit period, as in RunParams
-
-  // ---- optional telemetry, as in RunParams. Interval snapshots span the
-  // whole run including the pattern-switch window.
-  MetricsSink* metrics_sink = nullptr;
-  Cycle metrics_interval = 1'000;
-  std::string metrics_label;
-  bool metrics_full = false;
 };
 
 struct TransientBucket {
@@ -110,6 +119,11 @@ TransientResult run_transient(const SimConfig& cfg,
                               const TrafficPattern& pattern_b, double load_b,
                               const TransientParams& params = {});
 
+struct BurstParams : ExperimentCommon {
+  u32 packets_per_node = 400;       ///< paper §VI-C uses 2000
+  Cycle max_cycles = 5'000'000;     ///< abandon the run if not drained by then
+};
+
 struct BurstResult {
   Cycle completion = 0;  ///< cycle at which every packet was delivered
   u64 delivered_packets = 0;
@@ -118,9 +132,8 @@ struct BurstResult {
   bool completed = false;  ///< false when max_cycles elapsed first
 };
 
-/// Every node injects `packets_per_node` packets as fast as possible.
+/// Every node injects `params.packets_per_node` packets as fast as possible.
 BurstResult run_burst(const SimConfig& cfg, const TrafficPattern& pattern,
-                      u32 packets_per_node, Cycle max_cycles = 5'000'000,
-                      Cycle audit_interval = 0);
+                      const BurstParams& params = {});
 
 }  // namespace ofar

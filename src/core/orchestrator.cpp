@@ -1,0 +1,404 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "stats/sink.hpp"
+
+namespace ofar {
+
+namespace {
+
+/// Journal line schema version: bump together with any change to the
+/// result structs' serialized shape (old lines then fail to parse and the
+/// affected points simply re-run).
+constexpr u32 kJournalVersion = 1;
+
+void write_result_json(JsonWriter& w, const RunPoint& point,
+                       const PointOutcome& o) {
+  w.key("result").begin_object();
+  switch (point.kind) {
+    case RunKind::kSteady: {
+      const SteadyResult& r = o.steady;
+      w.key("offered").value(r.offered_load);
+      w.key("accepted").value(r.accepted_load);
+      w.key("lat").value(r.avg_latency);
+      w.key("lat_sd").value(r.stddev_latency);
+      w.key("delivered").value(r.delivered_packets);
+      w.key("lmis").value(r.local_misroutes);
+      w.key("gmis").value(r.global_misroutes);
+      w.key("ring").value(r.ring_entries);
+      w.key("stalled").value(r.stalled_packets);
+      w.key("worst").value(r.worst_stall);
+      w.key("hops").value(r.mean_hops);
+      break;
+    }
+    case RunKind::kTransient: {
+      w.key("series").begin_array();
+      for (const auto& b : o.transient.series) {
+        w.begin_array();
+        w.value(b.cycle_rel);
+        w.value(b.mean_latency);
+        w.value(b.packets);
+        w.end_array();
+      }
+      w.end_array();
+      break;
+    }
+    case RunKind::kBurst: {
+      const BurstResult& r = o.burst;
+      w.key("completion").value(r.completion);
+      w.key("delivered").value(r.delivered_packets);
+      w.key("lat").value(r.avg_latency);
+      w.key("ring").value(r.ring_entries);
+      w.key("completed").value(r.completed);
+      break;
+    }
+  }
+  w.end_object();
+}
+
+bool read_u64(const JsonValue& obj, const char* key, u64& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number() || !v->has_exact_int() ||
+      v->as_int() < 0)
+    return false;
+  out = static_cast<u64>(v->as_int());
+  return true;
+}
+
+bool read_double(const JsonValue& obj, const char* key, double& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  out = v->as_double();
+  return true;
+}
+
+bool parse_result_json(const JsonValue& result, RunKind kind,
+                       PointOutcome& o, std::string& error) {
+  if (!result.is_object()) {
+    error = "result is not an object";
+    return false;
+  }
+  switch (kind) {
+    case RunKind::kSteady: {
+      SteadyResult& r = o.steady;
+      if (!read_double(result, "offered", r.offered_load) ||
+          !read_double(result, "accepted", r.accepted_load) ||
+          !read_double(result, "lat", r.avg_latency) ||
+          !read_double(result, "lat_sd", r.stddev_latency) ||
+          !read_u64(result, "delivered", r.delivered_packets) ||
+          !read_u64(result, "lmis", r.local_misroutes) ||
+          !read_u64(result, "gmis", r.global_misroutes) ||
+          !read_u64(result, "ring", r.ring_entries) ||
+          !read_u64(result, "stalled", r.stalled_packets) ||
+          !read_u64(result, "worst", r.worst_stall) ||
+          !read_double(result, "hops", r.mean_hops)) {
+        error = "steady result missing fields";
+        return false;
+      }
+      return true;
+    }
+    case RunKind::kTransient: {
+      const JsonValue* series = result.find("series");
+      if (series == nullptr || !series->is_array()) {
+        error = "transient result missing series";
+        return false;
+      }
+      o.transient.series.clear();
+      for (const auto& item : series->items()) {
+        if (!item.is_array() || item.items().size() != 3 ||
+            !item.items()[0].is_number() || !item.items()[1].is_number() ||
+            !item.items()[2].is_number()) {
+          error = "malformed transient series bucket";
+          return false;
+        }
+        TransientBucket b;
+        b.cycle_rel = item.items()[0].as_int();
+        b.mean_latency = item.items()[1].as_double();
+        b.packets = static_cast<u64>(item.items()[2].as_int());
+        o.transient.series.push_back(b);
+      }
+      return true;
+    }
+    case RunKind::kBurst: {
+      BurstResult& r = o.burst;
+      const JsonValue* completed = result.find("completed");
+      if (!read_u64(result, "completion", r.completion) ||
+          !read_u64(result, "delivered", r.delivered_packets) ||
+          !read_double(result, "lat", r.avg_latency) ||
+          !read_u64(result, "ring", r.ring_entries) ||
+          completed == nullptr || !completed->is_bool()) {
+        error = "burst result missing fields";
+        return false;
+      }
+      r.completed = completed->as_bool();
+      return true;
+    }
+  }
+  error = "unknown kind";
+  return false;
+}
+
+/// Serializes ONLY the result payload (no key/version wrapper) — the unit
+/// the whole-run digest is computed over.
+std::string result_payload(const RunPoint& point, const PointOutcome& o) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("kind").value(to_string(point.kind));
+  write_result_json(w, point, o);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+std::string journal_line(const RunPoint& point, const PointOutcome& outcome) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("v").value(kJournalVersion);
+  w.key("key").value(outcome.key);
+  w.key("kind").value(to_string(point.kind));
+  write_result_json(w, point, outcome);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_journal_line(const std::string& line, std::string& key,
+                        RunKind& kind, PointOutcome& outcome,
+                        std::string& error) {
+  JsonValue doc;
+  if (!json_parse(line, doc, error)) return false;
+  if (!doc.is_object()) {
+    error = "line is not an object";
+    return false;
+  }
+  u64 version = 0;
+  if (!read_u64(doc, "v", version) || version != kJournalVersion) {
+    error = "missing or unsupported journal version";
+    return false;
+  }
+  const JsonValue* k = doc.find("key");
+  if (k == nullptr || !k->is_string() || k->as_string().size() != 32) {
+    error = "missing or malformed key";
+    return false;
+  }
+  const JsonValue* kind_v = doc.find("kind");
+  if (kind_v == nullptr || !kind_v->is_string() ||
+      !parse_run_kind(kind_v->as_string(), kind)) {
+    error = "missing or unknown kind";
+    return false;
+  }
+  const JsonValue* result = doc.find("result");
+  if (result == nullptr) {
+    error = "missing result";
+    return false;
+  }
+  if (!parse_result_json(*result, kind, outcome, error)) return false;
+  key = k->as_string();
+  outcome.key = key;
+  outcome.done = true;
+  outcome.from_cache = true;
+  return true;
+}
+
+namespace {
+
+struct CacheEntry {
+  RunKind kind;
+  PointOutcome outcome;
+};
+
+/// Loads every parseable journal line; corrupt lines (typically the
+/// truncated tail of a crashed run, or hand-editing damage) are reported
+/// and skipped — losing one cached point costs one re-simulation, while
+/// aborting would cost the whole sweep.
+std::map<std::string, CacheEntry> load_journal(const std::string& path) {
+  std::map<std::string, CacheEntry> cache;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return cache;  // no journal yet: empty cache
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    text.append(buf, n);
+    if (n < sizeof buf) break;
+  }
+  std::fclose(f);
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    const bool truncated = end == std::string::npos;
+    if (truncated) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    std::string key, error;
+    RunKind kind = RunKind::kSteady;
+    PointOutcome outcome;
+    if (truncated) {
+      std::fprintf(stderr,
+                   "warning: %s:%zu: ignoring truncated final line "
+                   "(in-flight point of an interrupted run)\n",
+                   path.c_str(), line_no);
+      continue;
+    }
+    if (!parse_journal_line(line, key, kind, outcome, error)) {
+      std::fprintf(stderr, "warning: %s:%zu: skipping corrupt line (%s)\n",
+                   path.c_str(), line_no, error.c_str());
+      continue;
+    }
+    cache[key] = CacheEntry{kind, std::move(outcome)};
+  }
+  return cache;
+}
+
+}  // namespace
+
+RunReport run_points(const std::vector<RunPoint>& points,
+                     const OrchestratorOptions& opts) {
+  RunReport report;
+  report.outcomes.resize(points.size());
+
+  std::map<std::string, CacheEntry> cache;
+  std::FILE* journal = nullptr;
+  if (!opts.cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.cache_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "warning: cannot create cache dir %s: %s\n",
+                   opts.cache_dir.c_str(), ec.message().c_str());
+    }
+    report.journal_path = opts.cache_dir + "/journal.jsonl";
+    cache = load_journal(report.journal_path);
+    journal = std::fopen(report.journal_path.c_str(), "ab");
+    if (journal == nullptr)
+      std::fprintf(stderr,
+                   "warning: cannot append to %s; results of this run will "
+                   "not be cached\n",
+                   report.journal_path.c_str());
+  }
+
+  // Resolve cache hits and collect the points that must execute.
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PointOutcome& o = report.outcomes[i];
+    o.key = point_key(points[i]);
+    const auto it = cache.find(o.key);
+    if (it != cache.end() && it->second.kind == points[i].kind) {
+      o = it->second.outcome;
+      ++report.hits;
+    } else {
+      todo.push_back(i);
+    }
+  }
+
+  std::mutex journal_mutex;
+  std::atomic<std::size_t> started{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<bool> interrupted{false};
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(todo.size());
+  for (const std::size_t i : todo) {
+    jobs.emplace_back([&, i] {
+      if (opts.stop_flag != nullptr &&
+          opts.stop_flag->load(std::memory_order_relaxed)) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const std::size_t my_start =
+          started.fetch_add(1, std::memory_order_relaxed);
+      if (opts.stop_after != 0 && my_start >= opts.stop_after) {
+        interrupted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const RunPoint& p = points[i];
+      PointOutcome& o = report.outcomes[i];
+
+      // Per-point instrumentation: labels name the case and mechanism so a
+      // shared sink's records stay distinguishable across the whole sweep.
+      const std::string label =
+          p.case_name.empty() ? p.mechanism : p.case_name + "|" + p.mechanism;
+      switch (p.kind) {
+        case RunKind::kSteady: {
+          RunParams run = p.run;
+          run.audit_interval = opts.audit_interval;
+          run.metrics_sink = opts.metrics_sink;
+          run.metrics_interval = opts.metrics_interval;
+          run.metrics_full = opts.metrics_full;
+          run.metrics_label = label;
+          o.steady = run_steady(p.cfg, p.pattern, p.load, run);
+          break;
+        }
+        case RunKind::kTransient: {
+          TransientParams tp = p.transient;
+          tp.audit_interval = opts.audit_interval;
+          tp.metrics_sink = opts.metrics_sink;
+          tp.metrics_interval = opts.metrics_interval;
+          tp.metrics_full = opts.metrics_full;
+          tp.metrics_label = label;
+          o.transient = run_transient(p.cfg, p.pattern, p.load, p.pattern_b,
+                                      p.load_b, tp);
+          break;
+        }
+        case RunKind::kBurst: {
+          BurstParams bp = p.burst;
+          bp.audit_interval = opts.audit_interval;
+          bp.metrics_sink = opts.metrics_sink;
+          bp.metrics_interval = opts.metrics_interval;
+          bp.metrics_full = opts.metrics_full;
+          bp.metrics_label = label;
+          o.burst = run_burst(p.cfg, p.pattern, bp);
+          break;
+        }
+      }
+      o.done = true;
+      o.from_cache = false;
+      executed.fetch_add(1, std::memory_order_relaxed);
+
+      if (journal != nullptr) {
+        const std::string line = journal_line(p, o) + "\n";
+        std::lock_guard<std::mutex> lock(journal_mutex);
+        std::fwrite(line.data(), 1, line.size(), journal);
+        std::fflush(journal);  // crash loses only in-flight points
+      }
+    });
+  }
+  run_parallel(jobs, opts.threads);
+  if (journal != nullptr) std::fclose(journal);
+
+  report.executed = executed.load();
+  report.interrupted = interrupted.load();
+  for (const auto& o : report.outcomes)
+    if (!o.done) ++report.missing;
+  return report;
+}
+
+std::string results_digest(const std::vector<RunPoint>& points,
+                           const RunReport& report) {
+  std::vector<std::string> lines;
+  lines.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointOutcome& o = report.outcomes[i];
+    if (!o.done) continue;
+    lines.push_back(o.key + "=" + result_payload(points[i], o));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string all;
+  for (const auto& line : lines) {
+    all += line;
+    all += '\n';
+  }
+  return content_digest(all);
+}
+
+}  // namespace ofar

@@ -1,0 +1,175 @@
+// Declarative experiment specs (the orchestration layer's input language).
+//
+// An ExperimentSpec describes one figure-shaped experiment — a cross
+// product of {mechanism} x {pattern or transition} x {load} x {seed} under
+// one of the three measurement protocols of core/experiment.hpp — and
+// expands into a flat list of RunPoints. Specs come from three places:
+//
+//   - JSON files (spec_from_file): the `ofar_run --spec` path,
+//   - the preset table in bench/presets.cpp: the figure reproductions,
+//   - CLI shorthand assembled by ofar_run (--kind/--mechanisms/...).
+//
+// Every RunPoint has a *canonical cache key*: a digest over a canonical
+// text rendering of (schema version, protocol, full SimConfig, pattern
+// components, protocol parameters, seed). Telemetry and audit knobs are
+// deliberately excluded — both are read-only instrumentation and results
+// are bit-identical with them on or off. The key is what the orchestrator's
+// result cache and resume journal are addressed by, so it must be stable
+// across processes and platforms: doubles are rendered with
+// std::to_chars shortest-round-trip form and the hash is a fixed FNV-1a.
+//
+// Bump kSpecSchemaVersion whenever the meaning of a config field, a
+// pattern, or a result struct changes — every cached result is invalidated
+// at once, which is exactly what a semantics change requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/experiment.hpp"
+#include "traffic/pattern.hpp"
+
+namespace ofar {
+
+class JsonValue;
+
+/// Cache-key schema version (see file comment for the bump discipline).
+inline constexpr u32 kSpecSchemaVersion = 1;
+
+enum class RunKind : u8 { kSteady, kTransient, kBurst };
+const char* to_string(RunKind kind) noexcept;
+bool parse_run_kind(const std::string& text, RunKind& out) noexcept;
+
+/// A traffic pattern plus the display name used in tables and labels.
+struct NamedPattern {
+  std::string name;  ///< "UN", "ADV+2", "MIX1", ...
+  TrafficPattern pattern;
+};
+
+/// One curve of a figure: a labelled mechanism configuration. The seed
+/// member of `cfg` is ignored — expansion overwrites it per point.
+struct MechanismEntry {
+  std::string label;
+  SimConfig cfg;
+};
+
+/// One transient transition (Fig. 6 style): pattern A at load_a until the
+/// switch cycle, then pattern B at load_b.
+struct TransitionSpec {
+  std::string name;  ///< "UN->ADV+2"
+  NamedPattern a;
+  NamedPattern b;
+  double load_a = 0.0;
+  double load_b = 0.0;
+};
+
+/// One expanded simulation point, self-contained and deterministic: the
+/// orchestrator can run points in any order, on any thread, and rerunning a
+/// point always reproduces the same result bit-for-bit.
+struct RunPoint {
+  RunKind kind = RunKind::kSteady;
+  std::string mechanism;  ///< column label
+  std::string case_name;  ///< pattern / workload / transition name
+  u64 seed = 1;
+  SimConfig cfg;  ///< seed already applied
+
+  // Steady and burst use `pattern`; transient uses `pattern` (phase A,
+  // at `load`) plus `pattern_b`/`load_b`.
+  TrafficPattern pattern;
+  TrafficPattern pattern_b;
+  double load = 0.0;
+  double load_b = 0.0;
+
+  RunParams run;            ///< steady windows
+  TransientParams transient;
+  BurstParams burst;
+
+  // Grid coordinates for renderers (indices into the owning spec's
+  // mechanisms / cases / loads / seeds vectors).
+  u32 mech_index = 0;
+  u32 case_index = 0;
+  u32 load_index = 0;
+  u32 seed_index = 0;
+};
+
+/// Evenly spaced load grid (lo, ..., hi] with `points` samples — the same
+/// arithmetic the figure benches have always used, centralised so spec
+/// files using the grid form reproduce historical CSVs bit-for-bit.
+std::vector<double> expand_load_grid(double lo, double hi, u32 points);
+
+struct ExperimentSpec {
+  std::string name = "experiment";  ///< CSV file prefix ("fig3", ...)
+  std::string title;                ///< table heading
+  RunKind kind = RunKind::kSteady;
+  u32 h = 4;
+  std::vector<u64> seeds = {1};
+  std::vector<MechanismEntry> mechanisms;
+
+  // ---- steady (cross product patterns x loads) ----
+  std::vector<NamedPattern> patterns;
+  std::vector<double> loads;
+  RunParams run;  ///< warmup/measure; audit/telemetry armed by the driver
+
+  // ---- transient ----
+  std::vector<TransitionSpec> transitions;
+  TransientParams transient;
+
+  // ---- burst ----
+  std::vector<NamedPattern> workloads;
+  BurstParams burst;
+
+  /// Case names along the non-load axis (patterns, transitions or
+  /// workloads depending on kind).
+  std::vector<std::string> case_names() const;
+
+  /// Flat point list in deterministic order: seeds, then cases, then
+  /// loads, then mechanisms (innermost).
+  std::vector<RunPoint> expand() const;
+
+  /// Consistency check; returns an error message or empty string.
+  std::string validate() const;
+};
+
+/// Canonical text rendering of everything that determines a point's result
+/// (see file comment). This is what the cache key digests; it is also
+/// human-readable on purpose, so key mismatches can be debugged by eye.
+std::string canonical_point(const RunPoint& point);
+
+/// 32-hex-digit content key: double-FNV-1a over canonical_point().
+std::string point_key(const RunPoint& point);
+
+/// The digest primitive behind point_key, shared with the orchestrator's
+/// whole-run results digest: two independent FNV-1a 64 passes over `text`,
+/// rendered as 32 hex digits. Stable across platforms and processes.
+std::string content_digest(const std::string& text);
+
+/// Renders a double in shortest round-trip form (std::to_chars): the one
+/// double format used by canonical keys and the result journal.
+void append_double(std::string& out, double v);
+
+// ---- JSON spec loading ----
+
+/// Parses a pattern from its JSON form: a name string ("UN", "uniform",
+/// "ADV+2", "adversarial:3", "ADV+h" — `h` substituted — or "stencil2d")
+/// or a mix object {"mix":[{"kind":"uniform","weight":0.8}, ...]}.
+bool pattern_from_json(const JsonValue& v, u32 h, NamedPattern& out,
+                       std::string& error);
+
+/// Applies config-override members of a JSON object onto `cfg` (routing,
+/// ring, vcs_*, thresholds, throttle, ...). Unknown keys are an error so
+/// spec typos fail loudly. Keys in `skip` are ignored.
+bool apply_config_json(const JsonValue& obj, SimConfig& cfg,
+                       const std::vector<std::string>& skip,
+                       std::string& error);
+
+/// Builds a spec from a parsed JSON document. On failure returns false and
+/// fills `error` with a spec-path-qualified message.
+bool spec_from_json(const JsonValue& doc, ExperimentSpec& out,
+                    std::string& error);
+
+/// json_parse_file + spec_from_json.
+bool spec_from_file(const std::string& path, ExperimentSpec& out,
+                    std::string& error);
+
+}  // namespace ofar

@@ -85,7 +85,7 @@ TEST(Par, SustainsAdversarialBeyondMinCeiling) {
   // MIN is capped at 1/(2h^2) = 0.125 at h=2; PAR must divert and do
   // clearly better.
   const SteadyResult r = run_steady(par_cfg(), TrafficPattern::adversarial(1),
-                                    0.2, run_windows(2000, 3000));
+                                    0.2, RunParams::windows(2000, 3000));
   EXPECT_GT(r.accepted_load, 0.15);
 }
 
@@ -173,7 +173,7 @@ TEST(Analysis, SimulatedValiantStaysBelowPredictedCeiling) {
   for (u32 offset : {1u, 2u}) {
     const double predicted = analysis::valiant_adv_offset_ceiling(topo, offset);
     const SteadyResult r = run_steady(
-        cfg, TrafficPattern::adversarial(offset), 0.5, run_windows(2500, 3500));
+        cfg, TrafficPattern::adversarial(offset), 0.5, RunParams::windows(2500, 3500));
     EXPECT_LT(r.accepted_load, predicted + 0.02) << "offset " << offset;
     EXPECT_GT(r.accepted_load, predicted * 0.5) << "offset " << offset;
   }
@@ -196,10 +196,10 @@ TEST(Throttle, InactiveByDefaultAndHarmlessAtLowLoad) {
   cfg.routing = RoutingKind::kOfar;
   cfg.seed = 5;
   const SteadyResult plain =
-      run_steady(cfg, TrafficPattern::uniform(), 0.1, run_windows(1500, 2500));
+      run_steady(cfg, TrafficPattern::uniform(), 0.1, RunParams::windows(1500, 2500));
   cfg.congestion_throttle = true;
   const SteadyResult throttled =
-      run_steady(cfg, TrafficPattern::uniform(), 0.1, run_windows(1500, 2500));
+      run_steady(cfg, TrafficPattern::uniform(), 0.1, RunParams::windows(1500, 2500));
   // Far below the thresholds the throttle must never engage.
   EXPECT_DOUBLE_EQ(plain.accepted_load, throttled.accepted_load);
   EXPECT_DOUBLE_EQ(plain.avg_latency, throttled.avg_latency);
@@ -297,7 +297,7 @@ TEST(RingStride, NonUnitStrideEscapeRingWorks) {
   cfg.seed = 7;
   ASSERT_EQ(cfg.validate(), "");
   const SteadyResult r =
-      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, run_windows(1500, 2500));
+      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, RunParams::windows(1500, 2500));
   EXPECT_GT(r.accepted_load, 0.13);
   EXPECT_EQ(r.stalled_packets, 0u);
 }
@@ -320,7 +320,7 @@ TEST(Stencil, RunsEndToEnd) {
   cfg.routing = RoutingKind::kOfar;
   cfg.seed = 6;
   const SteadyResult r =
-      run_steady(cfg, TrafficPattern::stencil2d(), 0.2, run_windows(1500, 2500));
+      run_steady(cfg, TrafficPattern::stencil2d(), 0.2, RunParams::windows(1500, 2500));
   EXPECT_GT(r.accepted_load, 0.19);
   EXPECT_EQ(r.stalled_packets, 0u);
 }

@@ -89,9 +89,9 @@ TEST(RoutingHelpers, ValiantPhaseCompletesOnArrival) {
 TEST(MinimalRouting, NeverMisroutesAndJamsUnderAdversarial) {
   const SimConfig cfg = cfg_for(RoutingKind::kMin);
   const SteadyResult un =
-      run_steady(cfg, TrafficPattern::uniform(), 0.2, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::uniform(), 0.2, RunParams::windows(2000, 3000));
   const SteadyResult adv =
-      run_steady(cfg, TrafficPattern::adversarial(1), 0.2, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::adversarial(1), 0.2, RunParams::windows(2000, 3000));
   EXPECT_EQ(un.local_misroutes + un.global_misroutes, 0u);
   // ADV+1 under MIN: one global link serves a whole group, an analytic
   // ceiling of 1/(2h^2) = 0.125 phits/(node*cycle) at h=2 (paper §III).
@@ -103,7 +103,7 @@ TEST(MinimalRouting, NeverMisroutesAndJamsUnderAdversarial) {
 TEST(ValiantRouting, SustainsAdversarialTraffic) {
   const SimConfig cfg = cfg_for(RoutingKind::kVal);
   const SteadyResult adv =
-      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, RunParams::windows(2000, 3000));
   EXPECT_GT(adv.accepted_load, 0.14);
 }
 
@@ -111,14 +111,14 @@ TEST(ValiantRouting, HalvesUniformThroughput) {
   const SimConfig cfg = cfg_for(RoutingKind::kVal);
   // Offered 0.45 exceeds Valiant's ~0.5 ceiling once overheads bite.
   const SteadyResult un =
-      run_steady(cfg, TrafficPattern::uniform(), 0.45, run_windows(3000, 4000));
+      run_steady(cfg, TrafficPattern::uniform(), 0.45, RunParams::windows(3000, 4000));
   EXPECT_LT(un.accepted_load, 0.45);
 }
 
 TEST(PiggybackRouting, RoutesMinimallyWhenQuiet) {
   const SimConfig cfg = cfg_for(RoutingKind::kPb);
   const SteadyResult un =
-      run_steady(cfg, TrafficPattern::uniform(), 0.05, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::uniform(), 0.05, RunParams::windows(2000, 3000));
   // At very low uniform load PB should look like MIN: short paths.
   EXPECT_LT(un.mean_hops, 3.2);
 }
@@ -126,7 +126,7 @@ TEST(PiggybackRouting, RoutesMinimallyWhenQuiet) {
 TEST(PiggybackRouting, DivertsUnderAdversarial) {
   const SimConfig cfg = cfg_for(RoutingKind::kPb);
   const SteadyResult adv =
-      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, RunParams::windows(2000, 3000));
   // Valiant-style paths dominate: mean hops well above minimal.
   EXPECT_GT(adv.mean_hops, 3.0);
   EXPECT_GT(adv.accepted_load, 0.12);
@@ -135,24 +135,24 @@ TEST(PiggybackRouting, DivertsUnderAdversarial) {
 TEST(UgalRouting, SustainsAdversarialTraffic) {
   const SimConfig cfg = cfg_for(RoutingKind::kUgal);
   const SteadyResult adv =
-      run_steady(cfg, TrafficPattern::adversarial(1), 0.12, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::adversarial(1), 0.12, RunParams::windows(2000, 3000));
   EXPECT_GT(adv.accepted_load, 0.1);
 }
 
 TEST(OfarRouting, LowLoadLatencyCompetitiveWithMin) {
   const SteadyResult min = run_steady(cfg_for(RoutingKind::kMin),
                                       TrafficPattern::uniform(), 0.05,
-                                      run_windows(2000, 3000));
+                                      RunParams::windows(2000, 3000));
   const SteadyResult ofar = run_steady(cfg_for(RoutingKind::kOfar),
                                        TrafficPattern::uniform(), 0.05,
-                                       run_windows(2000, 3000));
+                                       RunParams::windows(2000, 3000));
   EXPECT_LT(ofar.avg_latency, min.avg_latency * 1.25);
 }
 
 TEST(OfarRouting, EscapeRingRarelyUsedAtLowLoad) {
   const SteadyResult r = run_steady(cfg_for(RoutingKind::kOfar),
                                     TrafficPattern::uniform(), 0.1,
-                                    run_windows(2000, 4000));
+                                    RunParams::windows(2000, 4000));
   EXPECT_LT(static_cast<double>(r.ring_entries),
             0.01 * static_cast<double>(r.delivered_packets));
 }
@@ -160,7 +160,7 @@ TEST(OfarRouting, EscapeRingRarelyUsedAtLowLoad) {
 TEST(OfarRouting, GlobalMisroutesReplaceValiantUnderAdversarial) {
   const SteadyResult r = run_steady(cfg_for(RoutingKind::kOfar),
                                     TrafficPattern::adversarial(1), 0.15,
-                                    run_windows(2000, 3000));
+                                    RunParams::windows(2000, 3000));
   EXPECT_GT(r.accepted_load, 0.14);
   // The direct link's 1/(2h^2) = 0.125 ceiling forces the excess offered
   // load (here ~17% of 0.15) onto global misroutes.
@@ -170,7 +170,7 @@ TEST(OfarRouting, GlobalMisroutesReplaceValiantUnderAdversarial) {
 TEST(OfarRouting, OfarLNeverMisroutesLocally) {
   const SteadyResult r = run_steady(cfg_for(RoutingKind::kOfarL),
                                     TrafficPattern::adversarial(2), 0.2,
-                                    run_windows(2000, 3000));
+                                    RunParams::windows(2000, 3000));
   EXPECT_EQ(r.local_misroutes, 0u);
   EXPECT_GT(r.global_misroutes, 0u);
 }
@@ -179,7 +179,7 @@ TEST(OfarRouting, WorksWithEmbeddedRing) {
   SimConfig cfg = cfg_for(RoutingKind::kOfar);
   cfg.ring = RingKind::kEmbedded;
   const SteadyResult r =
-      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::adversarial(1), 0.15, RunParams::windows(2000, 3000));
   EXPECT_GT(r.accepted_load, 0.13);
   EXPECT_EQ(r.stalled_packets, 0u);
 }
@@ -189,7 +189,7 @@ TEST(OfarRouting, StaticThresholdVariantWorks) {
   cfg.thresholds.variable = false;  // Th_min = th_min, Th_nonmin = 40%
   cfg.thresholds.th_min = 1.0;
   const SteadyResult r =
-      run_steady(cfg, TrafficPattern::uniform(), 0.2, run_windows(2000, 3000));
+      run_steady(cfg, TrafficPattern::uniform(), 0.2, RunParams::windows(2000, 3000));
   EXPECT_GT(r.accepted_load, 0.19);
   EXPECT_EQ(r.stalled_packets, 0u);
 }
@@ -219,7 +219,7 @@ TEST(PiggybackTable, FlagsSaturatedGlobalChannels) {
 TEST(Experiment, LoadSweepIsMonotoneInOfferedLoad) {
   const SimConfig cfg = cfg_for(RoutingKind::kMin);
   const auto points = run_load_sweep(cfg, TrafficPattern::uniform(),
-                                     {0.05, 0.1, 0.2}, run_windows(1500, 2500));
+                                     {0.05, 0.1, 0.2}, RunParams::windows(1500, 2500));
   ASSERT_EQ(points.size(), 3u);
   EXPECT_LT(points[0].result.accepted_load, points[1].result.accepted_load);
   EXPECT_LT(points[1].result.accepted_load, points[2].result.accepted_load);
@@ -244,8 +244,11 @@ TEST(Experiment, TransientSeriesCoversSwitch) {
 }
 
 TEST(Experiment, BurstCompletesAndCountsEverything) {
+  BurstParams params;
+  params.packets_per_node = 10;
+  params.max_cycles = 300000;
   const auto result = run_burst(cfg_for(RoutingKind::kOfar),
-                                TrafficPattern::uniform(), 10, 300000);
+                                TrafficPattern::uniform(), params);
   EXPECT_TRUE(result.completed);
   Network probe(cfg_for(RoutingKind::kOfar));
   EXPECT_EQ(result.delivered_packets, 10u * probe.topo().nodes());
