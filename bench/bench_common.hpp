@@ -9,7 +9,10 @@
 //   --warmup C      warm-up cycles before the measurement window
 //   --measure C     measurement window width
 //   --csv-dir D     directory for CSV dumps ("" disables)
-//   --threads T     sweep worker threads (0 = hardware concurrency)
+//   --threads T     total thread budget (0 = hardware concurrency)
+//   --sim-threads N worker threads inside each simulation (sharded cycle
+//                   kernel; 0 = auto split of the --threads budget).
+//                   Effective only when the config runs sim_shards > 1.
 //   --metrics-out F       stream telemetry records to F (.jsonl or .csv)
 //   --metrics-interval C  cycles between interval snapshots (default 1000)
 //   --metrics-full        also dump per-channel / per-VC records
@@ -44,6 +47,7 @@ struct BenchOptions {
   RunParams run;  ///< steady measurement windows (warmup/measure only)
   std::string csv_dir;
   unsigned threads = 0;
+  unsigned sim_threads = 0;  ///< intra-sim workers (0 = auto; see above)
 
   // Telemetry sink shared by every simulation this bench runs (thread-safe;
   // parallel sweep points interleave whole records). Null when --metrics-out
@@ -70,6 +74,7 @@ struct BenchOptions {
     o.run.measure = cli.get_uint("measure", measure_default);
     o.csv_dir = cli.get_string("csv-dir", ".");
     o.threads = static_cast<unsigned>(cli.get_uint("threads", 0));
+    o.sim_threads = static_cast<unsigned>(cli.get_uint("sim-threads", 0));
     const std::string metrics_out = cli.get_string("metrics-out", "");
     o.metrics_interval = cli.get_uint("metrics-interval", 1'000);
     o.metrics_full = cli.get_flag("metrics-full");

@@ -9,7 +9,8 @@
 //   ofar_run --preset fig3                   run a registered preset
 //   ofar_run --list                          list presets
 //
-// Shared flags (see bench_common.hpp): --csv-dir, --threads, --cache-dir,
+// Shared flags (see bench_common.hpp): --csv-dir, --threads, --sim-threads,
+// --cache-dir,
 // --no-cache, --stop-after, --metrics-*, --audit*. Preset runs additionally
 // accept the preset's historical flags (--h, --seed, --warmup, ...); spec
 // runs take the experiment shape from the JSON file instead.
@@ -24,7 +25,8 @@ constexpr const char* kDefaultCacheDir = ".ofar-cache";
 void usage() {
   std::printf(
       "usage:\n"
-      "  ofar_run --spec FILE   [--csv-dir D] [--threads T] [--cache-dir D]\n"
+      "  ofar_run --spec FILE   [--csv-dir D] [--threads T] [--sim-threads N]\n"
+      "                         [--cache-dir D]\n"
       "                         [--no-cache] [--stop-after N] [--metrics-out F]\n"
       "  ofar_run --preset NAME [preset flags...]\n"
       "  ofar_run --list\n"

@@ -15,6 +15,10 @@
 //  - "sat" drives Bernoulli traffic far past saturation so every router is
 //    busy every cycle; this point guards the worklist bookkeeping overhead
 //    when there is nothing to skip.
+//  - "sat_mt" repeats the saturated workloads on the sharded cycle kernel
+//    (sim_shards=8, --sim-threads workers; DESIGN.md §10) — the intra-sim
+//    speedup trajectory. sim_shards changes the deterministic universe, so
+//    these points' stats differ from their sequential twins by design.
 //
 // Methodology notes: only Network::run() is timed (construction is not part
 // of the kernel), each point runs `--repeats` times on a fresh network and
@@ -55,6 +59,8 @@ struct PointSpec {
   Cycle burst_until = 0;   // transient only
   Cycle warmup = 0;        // steady only: untimed lead-in
   Cycle measure = 0;       // timed cycles
+  u32 sim_shards = 1;      // sharded cycle kernel (DESIGN.md §10)
+  unsigned sim_threads = 1;  // worker threads driving the shards
 };
 
 struct PointResult {
@@ -78,9 +84,12 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// One fresh-network run of a matrix point. Only the measured window is
 /// timed; phits/sec counts deliveries inside that window, while the packet
 /// counters report run totals (both are per-seed deterministic).
-PointResult run_point(const SimConfig& cfg, const PointSpec& spec,
+PointResult run_point(const SimConfig& base_cfg, const PointSpec& spec,
                       const MetricsOptions& metrics) {
+  SimConfig cfg = base_cfg;
+  cfg.sim_shards = spec.sim_shards;
   Network net(cfg);
+  net.set_sim_threads(spec.sim_threads);
   if (metrics.audit_interval > 0) net.enable_audit(metrics.audit_interval);
   if (metrics.sink != nullptr) {
     TelemetryConfig tc;
@@ -128,6 +137,8 @@ void json_point(std::FILE* f, const PointSpec& spec, const PointResult& best,
   std::fprintf(f, "      \"name\": \"%s\",\n", spec.name);
   std::fprintf(f, "      \"pattern\": \"%s\",\n", spec.pattern_name);
   std::fprintf(f, "      \"load_phits_per_node_cycle\": %g,\n", spec.load);
+  std::fprintf(f, "      \"sim_shards\": %u,\n", spec.sim_shards);
+  std::fprintf(f, "      \"sim_threads\": %u,\n", spec.sim_threads);
   if (spec.transient) {
     std::fprintf(f, "      \"schedule\": \"burst\",\n");
     std::fprintf(f, "      \"burst_until_cycle\": %llu,\n",
@@ -164,15 +175,32 @@ int main(int argc, char** argv) {
   const u32 h = static_cast<u32>(cli.get_uint("h", 4));
   const u64 seed = cli.get_uint("seed", 12345);
   const u32 repeats = static_cast<u32>(cli.get_uint("repeats", 2));
+  const unsigned sim_threads =
+      static_cast<unsigned>(cli.get_uint("sim-threads", 4));
   const std::string out = cli.get_string("out", "BENCH_core.json");
   const std::string only = cli.get_string("only", "");
   const std::string metrics_out = cli.get_string("metrics-out", "");
+  const bool require_release = cli.get_flag("require-release");
   MetricsOptions metrics;
   metrics.interval = cli.get_uint("metrics-interval", 1'000);
   metrics.audit_interval = cli.get_uint("audit-interval", 0);
   if (cli.get_flag("audit") && metrics.audit_interval == 0)
     metrics.audit_interval = 4'096;
   if (!reject_unknown(cli)) return 1;
+  // --require-release: the CI perf gate compares against a release-build
+  // baseline; numbers from a checked (assert-enabled) build would gate on
+  // noise, so refuse to produce them at all.
+#ifndef NDEBUG
+  if (require_release) {
+    std::fprintf(stderr,
+                 "perf_core: --require-release given but this is a checked "
+                 "build (NDEBUG not set); perf-gate numbers must come from "
+                 "a release build\n");
+    return 1;
+  }
+#else
+  (void)require_release;
+#endif
   std::unique_ptr<MetricsSink> metrics_sink;
   if (!metrics_out.empty()) {
     metrics_sink = MetricsSink::open(metrics_out);
@@ -220,6 +248,26 @@ int main(int argc, char** argv) {
     p.load = 0.7;
     matrix.push_back(p);
   }
+  {
+    // Same saturated workloads on the sharded kernel (ISSUE 5): sim_shards
+    // is semantic (a different deterministic universe, so the stats differ
+    // from the *_sat points above), sim_threads only changes wall-clock.
+    PointSpec p;
+    p.name = "uniform_sat_mt";
+    p.pattern_name = "uniform";
+    p.pattern = TrafficPattern::uniform();
+    p.load = 1.0;
+    p.warmup = 1'000;
+    p.measure = 2'000;
+    p.sim_shards = 8;
+    p.sim_threads = sim_threads;
+    matrix.push_back(p);
+    p.name = "adversarial_sat_mt";
+    p.pattern_name = "adversarial+1";
+    p.pattern = TrafficPattern::adversarial(1);
+    p.load = 0.7;
+    matrix.push_back(p);
+  }
   // --only SUBSTR: restrict the matrix (quick overhead checks, CI gates).
   if (!only.empty()) {
     std::erase_if(matrix, [&](const PointSpec& p) {
@@ -232,8 +280,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("perf_core: h=%u seed=%llu repeats=%u (%s build)\n", h,
-              static_cast<unsigned long long>(seed), repeats,
+  std::printf("perf_core: h=%u seed=%llu repeats=%u sim-threads=%u "
+              "(%s build)\n",
+              h, static_cast<unsigned long long>(seed), repeats, sim_threads,
 #ifdef NDEBUG
               "NDEBUG"
 #else

@@ -888,6 +888,7 @@ int run_units(const std::vector<PresetUnit>& units, const BenchOptions& opts,
   OrchestratorOptions oo;
   oo.cache_dir = opts.no_cache ? std::string() : opts.cache_dir;
   oo.threads = opts.threads;
+  oo.sim_threads = opts.sim_threads;
   oo.audit_interval = opts.audit_interval;
   oo.metrics_sink = opts.metrics.get();
   oo.metrics_interval = opts.metrics_interval;

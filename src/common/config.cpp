@@ -76,6 +76,7 @@ std::string SimConfig::validate() const {
   if (thresholds.th_min < 0.0 || thresholds.th_min > 1.0)
     return "th_min must be in [0,1]";
   if (allocator_iterations < 1) return "allocator_iterations must be >= 1";
+  if (sim_shards < 1) return "sim_shards must be >= 1";
   if (congestion_throttle &&
       !(0.0 <= throttle_off && throttle_off <= throttle_on &&
         throttle_on <= 1.0))
@@ -91,6 +92,7 @@ std::string SimConfig::summary() const {
      << to_string(routing) << " ring=" << to_string(ring)
      << " vcs=" << vcs_local << "l/" << vcs_global << "g"
      << " seed=" << seed;
+  if (sim_shards > 1) os << " shards=" << sim_shards;
   return os.str();
 }
 

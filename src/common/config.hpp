@@ -103,6 +103,15 @@ struct SimConfig {
   double throttle_on = 0.60;   ///< pause injection above this occupancy
   double throttle_off = 0.45;  ///< resume injection below this occupancy
 
+  // ---- sharded cycle kernel (DESIGN.md §10) ----
+  /// Number of contiguous router shards the cycle kernel is partitioned
+  /// into. This is a SEMANTIC knob, not an execution knob: K > 1 selects the
+  /// staged-commit kernel, whose per-seed results are bit-identical across
+  /// any worker-thread count but differ from the K = 1 sequential kernel
+  /// (policy RNGs draw from per-shard lanes). It therefore participates in
+  /// experiment content keys. Clamped to the router count at construction.
+  u32 sim_shards = 1;
+
   // ---- bookkeeping ----
   u64 seed = 1;
   u32 deadlock_timeout = 200'000;  ///< watchdog: max cycles a head may stall

@@ -1,6 +1,8 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 namespace ofar {
@@ -35,6 +37,86 @@ void parallel_for(std::size_t count,
   jobs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) jobs.emplace_back([&fn, i] { fn(i); });
   run_parallel(jobs, threads);
+}
+
+// ---------------------------------------------------------------------------
+// ShardPool
+// ---------------------------------------------------------------------------
+
+struct ShardPool::Impl {
+  std::mutex mutex;
+  std::condition_variable start_cv;   // workers wait here between phases
+  std::condition_variable done_cv;    // the caller waits here for the barrier
+  u64 generation = 0;                 // bumped per phase; wakes the workers
+  u32 count = 0;                      // shard count of the active phase
+  const std::function<void(u32)>* fn = nullptr;
+  unsigned pending = 0;               // workers still running the phase
+  bool shutdown = false;
+  std::vector<std::thread> workers;
+};
+
+ShardPool::ShardPool(unsigned threads)
+    : threads_(threads < 1 ? 1 : threads) {
+  if (threads_ == 1) return;
+  impl_ = new Impl;
+  impl_->workers.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w)
+    impl_->workers.emplace_back([this, w] { worker_loop(w); });
+}
+
+ShardPool::~ShardPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->start_cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ShardPool::worker_loop(unsigned worker_index) {
+  u64 seen = 0;
+  for (;;) {
+    const std::function<void(u32)>* fn = nullptr;
+    u32 count = 0;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->start_cv.wait(lock, [&] {
+        return impl_->shutdown || impl_->generation != seen;
+      });
+      if (impl_->shutdown) return;
+      seen = impl_->generation;
+      fn = impl_->fn;
+      count = impl_->count;
+    }
+    // Static stride partition: worker w takes shards w, w+N, w+2N, ...
+    for (u32 i = worker_index; i < count; i += threads_) (*fn)(i);
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      if (--impl_->pending == 0) impl_->done_cv.notify_one();
+    }
+  }
+}
+
+void ShardPool::parallel_phase(u32 count, const std::function<void(u32)>& fn) {
+  if (count == 0) return;
+  if (impl_ == nullptr || count == 1) {
+    for (u32 i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->fn = &fn;
+    impl_->count = count;
+    impl_->pending = static_cast<unsigned>(impl_->workers.size());
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+  // The caller is worker 0.
+  for (u32 i = 0; i < count; i += threads_) fn(i);
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
 }
 
 }  // namespace ofar

@@ -22,4 +22,45 @@ void run_parallel(const std::vector<std::function<void()>>& jobs,
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
 
+/// Persistent worker pool for the sharded cycle kernel (DESIGN.md §10).
+///
+/// `run_parallel` spawns threads per call, which is fine for sweeps where a
+/// job is a whole simulation, but a sharded Network::step() dispatches two
+/// parallel phases per cycle — thread spawn cost would dwarf the work. A
+/// ShardPool keeps `threads - 1` workers parked on a condition variable and
+/// reuses them for every phase; the calling thread participates as worker 0,
+/// so a pool of N threads occupies exactly N cores during a phase.
+///
+/// Determinism contract: `parallel_phase(count, fn)` invokes fn(i) exactly
+/// once for every i in [0, count) and returns only after all invocations
+/// finished (barrier). Shard i is always the same *work*, merely executed on
+/// an arbitrary thread — callers must keep fn(i) free of cross-shard writes
+/// and commit any cross-shard effects themselves, in shard order, after the
+/// barrier. The pool never reorders, splits, or merges shard indices.
+class ShardPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining thread).
+  /// `threads` is clamped to at least 1; a 1-thread pool spawns nothing and
+  /// parallel_phase degenerates to a sequential loop.
+  explicit ShardPool(unsigned threads);
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+  ~ShardPool();
+
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count) across the pool and waits for all
+  /// of them (barrier). Workers use a static stride partition (worker w runs
+  /// i = w, w + threads, ...) so the assignment of shards to threads is
+  /// itself deterministic — useful when debugging with per-thread logs.
+  void parallel_phase(u32 count, const std::function<void(u32)>& fn);
+
+ private:
+  struct Impl;
+  void worker_loop(unsigned worker_index);
+
+  unsigned threads_ = 1;
+  Impl* impl_ = nullptr;
+};
+
 }  // namespace ofar

@@ -12,6 +12,7 @@ namespace ofar {
 
 void ExperimentCommon::arm(Network& net, const std::string& label_suffix)
     const {
+  net.set_sim_threads(sim_threads);
   if (audit_interval > 0) net.enable_audit(audit_interval);
   if (metrics_sink == nullptr) return;
   TelemetryConfig tc;

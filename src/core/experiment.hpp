@@ -44,6 +44,12 @@ struct ExperimentCommon {
   std::string metrics_label;
   bool metrics_full = false;
 
+  /// Worker threads for the sharded cycle kernel (Network::set_sim_threads).
+  /// Execution-only: any value produces the same per-seed results for a
+  /// given SimConfig::sim_shards, so it is NOT part of the cached point
+  /// key. 0 means 1 (sequential). Ignored when sim_shards == 1.
+  unsigned sim_threads = 1;
+
   /// Wires auditing and telemetry into a freshly built network. The
   /// telemetry record label is "<metrics_label>|<label_suffix>" (either
   /// part optional). Called by every run_* driver before the first cycle.

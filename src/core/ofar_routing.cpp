@@ -8,10 +8,20 @@ OfarPolicy::OfarPolicy(const SimConfig& cfg, bool allow_local)
     : thresholds_(cfg.thresholds),
       ring_(cfg),
       allow_local_(allow_local),
-      rng_(cfg.seed ^ 0x4F464152ULL) {}
+      seed_(cfg.seed ^ 0x4F464152ULL) {
+  lanes_.emplace_back(seed_);  // lane 0: the legacy sequential stream
+}
+
+void OfarPolicy::bind_lanes(u32 lanes) {
+  lanes_.resize(1, Lane(seed_));  // keep lane 0's stream position
+  lanes_.reserve(lanes > 0 ? lanes : 1);
+  for (u32 l = 1; l < lanes; ++l)
+    lanes_.emplace_back(seed_ ^ (0x9E3779B97F4A7C15ULL * l));
+}
 
 void OfarPolicy::collect_local(Network& net, RouterId at, PortId min_port,
-                               double th, std::vector<PortId>& out) const {
+                               double th, double gap_ceiling,
+                               std::vector<PortId>& out) const {
   const Dragonfly& topo = net.topo();
   const Router& r = net.router(at);
   const PortId first = topo.first_local_port();
@@ -19,13 +29,14 @@ void OfarPolicy::collect_local(Network& net, RouterId at, PortId min_port,
     if (port == min_port) continue;
     if (!net.base_available(r, port)) continue;
     const double occ = net.base_occupancy(r, port);
-    if (occ >= th || occ > gap_ceiling_) continue;
+    if (occ >= th || occ > gap_ceiling) continue;
     out.push_back(port);
   }
 }
 
 void OfarPolicy::collect_global(Network& net, RouterId at, PortId min_port,
                                 GroupId dst_group, double th,
+                                double gap_ceiling,
                                 std::vector<PortId>& out) const {
   const Dragonfly& topo = net.topo();
   const Router& r = net.router(at);
@@ -40,13 +51,13 @@ void OfarPolicy::collect_global(Network& net, RouterId at, PortId min_port,
       continue;
     if (!net.base_available(r, port)) continue;
     const double occ = net.base_occupancy(r, port);
-    if (occ >= th || occ > gap_ceiling_) continue;
+    if (occ >= th || occ > gap_ceiling) continue;
     out.push_back(port);
   }
 }
 
 RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
-                              VcId in_vc, Packet& pkt) {
+                              VcId in_vc, Packet& pkt, u32 lane) {
   const Dragonfly& topo = net.topo();
   const Router& r = net.router(at);
   const GroupId here = topo.group_of(at);
@@ -84,7 +95,7 @@ RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
   if (q_min >= thresholds_.th_min) {
     const double th = nonmin_threshold(q_min);
     // Candidates must also clear the absolute gap guard (see config.hpp).
-    gap_ceiling_ = q_min - thresholds_.min_gap;
+    const double gap_ceiling = q_min - thresholds_.min_gap;
     const GroupId src_group = topo.group_of_node(pkt.src);
     const GroupId dst_group = topo.group_of(pkt.dst_router);
     const bool min_is_local =
@@ -101,22 +112,26 @@ RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
                                 !pkt.global_misrouted;
 
     const PortClass in_class = topo.port_class(in_port);
-    scratch_.clear();
+    OFAR_DCHECK(lane < lanes_.size());
+    Lane& ln = lanes_[lane];
+    std::vector<PortId>& scratch = ln.scratch;
+    scratch.clear();
     if (here == src_group && here != dst_group && in_class == PortClass::kNode) {
       // Injection queues misroute globally (saves Valiant's first local hop).
       if (global_allowed) collect_global(net, at, min_port, dst_group, th,
-                                         scratch_);
-      if (scratch_.empty() && local_allowed)
-        collect_local(net, at, min_port, th, scratch_);
+                                         gap_ceiling, scratch);
+      if (scratch.empty() && local_allowed)
+        collect_local(net, at, min_port, th, gap_ceiling, scratch);
     } else {
       // Transit queues: first locally, then globally (§IV-A starvation rule).
-      if (local_allowed) collect_local(net, at, min_port, th, scratch_);
-      if (scratch_.empty() && global_allowed)
-        collect_global(net, at, min_port, dst_group, th, scratch_);
+      if (local_allowed)
+        collect_local(net, at, min_port, th, gap_ceiling, scratch);
+      if (scratch.empty() && global_allowed)
+        collect_global(net, at, min_port, dst_group, th, gap_ceiling, scratch);
     }
-    if (!scratch_.empty()) {
-      const PortId pick = scratch_[rng_.below(
-          static_cast<u32>(scratch_.size()))];
+    if (!scratch.empty()) {
+      const PortId pick = scratch[ln.rng.below(
+          static_cast<u32>(scratch.size()))];
       VcId vc;
       const bool ok = net.best_base_vc(r, pick, vc);
       OFAR_DCHECK(ok);

@@ -41,9 +41,20 @@ class OfarPolicy final : public RoutingPolicy {
   }
 
   RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt) override;
+                    Packet& pkt, u32 lane) override;
+  void bind_lanes(u32 lanes) override;
 
  private:
+  /// Per-shard route() state: the candidate RNG and its scratch list.
+  /// route() is called concurrently from different shards in the sharded
+  /// kernel, so each lane owns both; lane 0 keeps the legacy sequential
+  /// stream so K = 1 runs replay the sequential kernel's draws exactly.
+  struct Lane {
+    explicit Lane(u64 seed) : rng(seed) {}
+    Rng rng;
+    std::vector<PortId> scratch;
+  };
+
   /// Threshold below which a non-minimal output is an eligible candidate.
   double nonmin_threshold(double q_min) const noexcept {
     return thresholds_.variable ? thresholds_.nonmin_factor * q_min
@@ -51,21 +62,19 @@ class OfarPolicy final : public RoutingPolicy {
   }
 
   /// Appends eligible local-misroute candidate ports at router `at`.
+  /// `gap_ceiling` is Q_min - min_gap for the decision in flight.
   void collect_local(Network& net, RouterId at, PortId min_port, double th,
-                     std::vector<PortId>& out) const;
+                     double gap_ceiling, std::vector<PortId>& out) const;
   /// Appends eligible global-misroute candidate ports at router `at`.
   void collect_global(Network& net, RouterId at, PortId min_port,
-                      GroupId dst_group, double th,
+                      GroupId dst_group, double th, double gap_ceiling,
                       std::vector<PortId>& out) const;
 
   MisrouteThresholds thresholds_;
-  /// Scratch: Q_min - min_gap for the decision in flight (set by route()
-  /// before the collect_* helpers run).
-  mutable double gap_ceiling_ = 1.0;
   EscapeRingControl ring_;
   bool allow_local_;
-  Rng rng_;
-  mutable std::vector<PortId> scratch_;
+  u64 seed_;  ///< salted policy seed, basis for the per-lane streams
+  std::vector<Lane> lanes_;
 };
 
 }  // namespace ofar

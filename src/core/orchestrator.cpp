@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <thread>
 
+#include "common/check.hpp"
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "stats/sink.hpp"
@@ -301,6 +303,28 @@ RunReport run_points(const std::vector<RunPoint>& points,
     }
   }
 
+  // Thread-budget arbitration (DESIGN.md §10): split the total budget
+  // between point-level workers (outer) and per-simulation shard workers
+  // (inner), never oversubscribing their product. Auto mode prefers the
+  // outer level — an embarrassingly parallel sweep scales better there —
+  // and only routes spare threads inward when fewer points remain than
+  // the budget could occupy.
+  unsigned budget =
+      opts.threads != 0 ? opts.threads : std::thread::hardware_concurrency();
+  if (budget == 0) budget = 1;
+  unsigned outer = 1;
+  unsigned inner = 1;
+  if (opts.sim_threads == 0) {
+    outer = static_cast<unsigned>(std::min<std::size_t>(
+        budget, std::max<std::size_t>(1, todo.size())));
+    inner = std::max(1u, budget / outer);
+  } else {
+    inner = std::min(opts.sim_threads, budget);
+    outer = std::max(1u, budget / inner);
+  }
+  OFAR_CHECK_MSG(static_cast<u64>(outer) * inner <= budget,
+                 "thread split oversubscribes the --threads budget");
+
   std::mutex journal_mutex;
   std::atomic<std::size_t> started{0};
   std::atomic<std::size_t> executed{0};
@@ -336,6 +360,7 @@ RunReport run_points(const std::vector<RunPoint>& points,
           run.metrics_interval = opts.metrics_interval;
           run.metrics_full = opts.metrics_full;
           run.metrics_label = label;
+          run.sim_threads = inner;
           o.steady = run_steady(p.cfg, p.pattern, p.load, run);
           break;
         }
@@ -346,6 +371,7 @@ RunReport run_points(const std::vector<RunPoint>& points,
           tp.metrics_interval = opts.metrics_interval;
           tp.metrics_full = opts.metrics_full;
           tp.metrics_label = label;
+          tp.sim_threads = inner;
           o.transient = run_transient(p.cfg, p.pattern, p.load, p.pattern_b,
                                       p.load_b, tp);
           break;
@@ -357,6 +383,7 @@ RunReport run_points(const std::vector<RunPoint>& points,
           bp.metrics_interval = opts.metrics_interval;
           bp.metrics_full = opts.metrics_full;
           bp.metrics_label = label;
+          bp.sim_threads = inner;
           o.burst = run_burst(p.cfg, p.pattern, bp);
           break;
         }
@@ -373,7 +400,7 @@ RunReport run_points(const std::vector<RunPoint>& points,
       }
     });
   }
-  run_parallel(jobs, opts.threads);
+  run_parallel(jobs, outer);
   if (journal != nullptr) std::fclose(journal);
 
   report.executed = executed.load();

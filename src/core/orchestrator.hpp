@@ -34,7 +34,19 @@ struct OrchestratorOptions {
   /// Directory for the result cache + journal; "" disables caching (every
   /// point executes). Created if missing.
   std::string cache_dir;
-  unsigned threads = 0;  ///< sweep workers (0 = hardware concurrency)
+  unsigned threads = 0;  ///< total thread budget (0 = hardware concurrency)
+
+  /// Worker threads per simulation (the sharded cycle kernel's
+  /// Network::set_sim_threads). The total budget `threads` is split between
+  /// point-level parallelism (outer) and intra-simulation parallelism
+  /// (inner = sim_threads); outer * inner never exceeds the budget.
+  ///  - 0 (auto): prefer the outer level — outer = min(budget, points to
+  ///    run), inner = budget / outer. With fewer points than budget the
+  ///    spare threads flow into each simulation instead of idling.
+  ///  - N >= 1: force inner = min(N, budget), outer = budget / inner.
+  /// Execution-only either way: results and cache keys are unchanged by
+  /// any split (see DESIGN.md §10).
+  unsigned sim_threads = 0;
 
   // Instrumentation applied to every *executed* point (cache hits ran
   // without it, which is equivalent: both are result-invariant).

@@ -128,6 +128,8 @@ void append_config(std::string& out, const SimConfig& cfg) {
   append_double(out, cfg.throttle_off);
   out += ";dt=";
   append_u64(out, cfg.deadlock_timeout);
+  out += ";shards=";
+  append_u64(out, cfg.sim_shards);
   out += '}';
 }
 
@@ -532,6 +534,8 @@ bool apply_config_json(const JsonValue& obj, SimConfig& cfg,
       ok = get_double(value, key, cfg.throttle_off, error);
     else if (key == "deadlock_timeout")
       ok = get_u32(value, key, cfg.deadlock_timeout, error);
+    else if (key == "sim_shards")
+      ok = get_u32(value, key, cfg.sim_shards, error);
     else if (key == "thresholds")
       ok = parse_thresholds_json(value, cfg.thresholds, error);
     else {

@@ -35,7 +35,8 @@ namespace ofar {
 class JsonValue;
 
 /// Cache-key schema version (see file comment for the bump discipline).
-inline constexpr u32 kSpecSchemaVersion = 1;
+/// v2: SimConfig::sim_shards joined the canonical config rendering.
+inline constexpr u32 kSpecSchemaVersion = 2;
 
 enum class RunKind : u8 { kSteady, kTransient, kBurst };
 const char* to_string(RunKind kind) noexcept;

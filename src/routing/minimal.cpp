@@ -5,7 +5,7 @@
 namespace ofar {
 
 RouteChoice MinimalPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                                 VcId /*in_vc*/, Packet& pkt) {
+                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/) {
   const Dragonfly& topo = net.topo();
   const PortId out = at == pkt.dst_router
                          ? topo.node_port(topo.node_slot(pkt.dst))

@@ -36,7 +36,7 @@ void ParPolicy::on_inject(Network&, Packet& pkt, RouterId) {
 }
 
 RouteChoice ParPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                             VcId /*in_vc*/, Packet& pkt) {
+                             VcId /*in_vc*/, Packet& pkt, u32 lane) {
   const Dragonfly& topo = net.topo();
 
   // Progressive re-evaluation: still in the source group, no global hop
@@ -49,7 +49,7 @@ RouteChoice ParPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
                         pkt.inter_router == kInvalidRouter &&
                         pkt.local_hops_in_group <= 1;
   if (adaptive) {
-    const UgalPaths paths = evaluate_ugal_paths(net, pkt, at, rng_);
+    const UgalPaths paths = evaluate_ugal_paths(net, pkt, at, route_rng(lane));
     if (paths.has_val && !ugal_prefers_minimal(paths, bias_)) {
       pkt.inter_group = paths.inter_group;
       pkt.inter_router = paths.inter_router;

@@ -25,7 +25,7 @@ class ParPolicy final : public ValiantPolicy {
 
   void on_inject(Network& net, Packet& pkt, RouterId at) override;
   RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt) override;
+                    Packet& pkt, u32 lane) override;
 
  private:
   i32 bias_;

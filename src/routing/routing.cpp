@@ -12,6 +12,7 @@
 namespace ofar {
 
 void RoutingPolicy::on_inject(Network&, Packet&, RouterId) {}
+void RoutingPolicy::bind_lanes(u32) {}
 void RoutingPolicy::tick(Network&) {}
 
 PortId min_port_to_router(const Network& net, RouterId cur, RouterId dst) {

@@ -53,10 +53,23 @@ class RoutingPolicy {
   /// Must only return outputs that are grantable right now: output port not
   /// busy and enough credits on the chosen VC (the whole packet for VCT, one
   /// extra packet — the bubble — when enter_ring is set).
+  ///
+  /// `lane` identifies the shard calling during the parallel allocation
+  /// phase of the sharded cycle kernel (DESIGN.md §10). Policies that draw
+  /// randomness inside route() (OFAR's candidate pick, PAR's UGAL tiebreak)
+  /// must draw from a per-lane RNG so concurrent shards never share a
+  /// stream; lane 0 is always the legacy sequential stream. Policies must
+  /// not mutate any other shared state from route().
   virtual RouteChoice route(Network& net, RouterId at, PortId in_port,
-                            VcId in_vc, Packet& pkt) = 0;
+                            VcId in_vc, Packet& pkt, u32 lane) = 0;
 
-  /// Per-cycle global update hook (PB's intra-group broadcast).
+  /// Announces the number of route() lanes the kernel will use (the shard
+  /// count). Called once at Network construction, before any traffic.
+  /// Policies without route()-time randomness can ignore it.
+  virtual void bind_lanes(u32 lanes);
+
+  /// Per-cycle global update hook (PB's intra-group broadcast). Always
+  /// called serially, between event delivery and the transfer phase.
   virtual void tick(Network& net);
 };
 

@@ -7,7 +7,15 @@
 namespace ofar {
 
 ValiantPolicy::ValiantPolicy(const SimConfig& cfg)
-    : rng_(cfg.seed ^ 0x56414c49414e54ULL) {}
+    : rng_(cfg.seed ^ 0x56414c49414e54ULL),
+      seed_(cfg.seed ^ 0x56414c49414e54ULL) {}
+
+void ValiantPolicy::bind_lanes(u32 lanes) {
+  lane_rngs_.clear();
+  lane_rngs_.reserve(lanes > 0 ? lanes - 1 : 0);
+  for (u32 l = 1; l < lanes; ++l)
+    lane_rngs_.emplace_back(seed_ ^ (0x9E3779B97F4A7C15ULL * l));
+}
 
 void ValiantPolicy::assign_intermediate(Network& net, Packet& pkt,
                                         RouterId at) {
@@ -50,7 +58,7 @@ void ValiantPolicy::on_inject(Network& net, Packet& pkt, RouterId at) {
 }
 
 RouteChoice ValiantPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                                 VcId /*in_vc*/, Packet& pkt) {
+                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/) {
   const PortId out = valiant_next_port(net, at, pkt);
   const Router& r = net.router(at);
   const OutputPort& port = r.outputs[out];

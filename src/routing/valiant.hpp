@@ -8,6 +8,8 @@
 // local links the same way.
 #pragma once
 
+#include <vector>
+
 #include "common/rng.hpp"
 #include "routing/routing.hpp"
 
@@ -21,14 +23,29 @@ class ValiantPolicy : public RoutingPolicy {
 
   void on_inject(Network& net, Packet& pkt, RouterId at) override;
   RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt) override;
+                    Packet& pkt, u32 lane) override;
+  void bind_lanes(u32 lanes) override;
 
  protected:
   /// Assigns pkt's Valiant intermediate (group or router); used by the
-  /// adaptive injection-time mechanisms (PB/UGAL) as well.
+  /// adaptive injection-time mechanisms (PB/UGAL) as well. Injection-time
+  /// only, hence always the lane-0 stream.
   void assign_intermediate(Network& net, Packet& pkt, RouterId at);
 
+  /// RNG stream for route()-time draws of shard `lane` (PAR's UGAL probe).
+  /// Lane 0 is rng_ itself — the legacy sequential stream — so K = 1
+  /// sharded runs replay the sequential kernel's draws exactly. The phases
+  /// that draw from lane 0 via route() (parallel allocation) and via
+  /// on_inject (serial injection) never overlap, so sharing is safe.
+  Rng& route_rng(u32 lane) noexcept {
+    return lane == 0 ? rng_ : lane_rngs_[lane - 1];
+  }
+
   Rng rng_;
+
+ private:
+  u64 seed_;  ///< salted policy seed, basis for the extra lane streams
+  std::vector<Rng> lane_rngs_;
 };
 
 }  // namespace ofar

@@ -96,12 +96,38 @@ Network::Network(const SimConfig& cfg)
   build_channels();
   size_output_credits();
 
-  alloc_ = std::make_unique<SeparableAllocator>(ports);
   policy_ = make_policy(cfg_);
   pending_.resize(topo_.nodes());
 
-  router_in_worklist_.assign(topo_.routers(), 0);
-  active_routers_.reserve(topo_.routers());
+  // ---- shard partition (DESIGN.md §10) ----
+  // Contiguous router ranges of near-equal size; nodes follow their router.
+  // K = 1 (the default) is the sequential kernel. The partition depends
+  // only on (routers, sim_shards), never on thread count.
+  const u32 num_routers = topo_.routers();
+  const u32 shard_count =
+      std::min(std::max(cfg_.sim_shards, 1u), num_routers);
+  shards_.resize(shard_count);
+  shard_of_router_.assign(num_routers, 0);
+  for (u32 s = 0; s < shard_count; ++s) {
+    ShardState& sh = shards_[s];
+    sh.router_begin =
+        static_cast<RouterId>(u64{num_routers} * s / shard_count);
+    sh.router_end =
+        static_cast<RouterId>(u64{num_routers} * (s + 1) / shard_count);
+    for (RouterId r = sh.router_begin; r < sh.router_end; ++r)
+      shard_of_router_[r] = s;
+    sh.active_routers.reserve(sh.router_end - sh.router_begin);
+    sh.alloc = std::make_unique<SeparableAllocator>(ports);
+    sh.reqs.reserve(static_cast<std::size_t>(ports) * 8);
+    if (shard_count > 1) {
+      sh.phit_out.reserve(kWheelSlotReserve);
+      sh.credit_out.reserve(kWheelSlotReserve);
+      sh.delivered.reserve(kWheelSlotReserve);
+    }
+  }
+  policy_->bind_lanes(shard_count);
+
+  router_in_worklist_.assign(num_routers, 0);
   node_in_worklist_.assign(topo_.nodes(), 0);
   active_nodes_.reserve(topo_.nodes());
 
@@ -112,7 +138,27 @@ Network::Network(const SimConfig& cfg)
   credit_wheel_.resize(wheel_size_);
   for (auto& slot : phit_wheel_) slot.reserve(kWheelSlotReserve);
   for (auto& slot : credit_wheel_) slot.reserve(kWheelSlotReserve);
-  reqs_scratch_.reserve(static_cast<std::size_t>(ports) * 8);
+}
+
+u32 Network::num_shards() const noexcept {
+  return static_cast<u32>(shards_.size());
+}
+
+std::size_t Network::active_router_count() const noexcept {
+  std::size_t n = 0;
+  for (const ShardState& sh : shards_) n += sh.active_routers.size();
+  return n;
+}
+
+void Network::set_sim_threads(unsigned threads) {
+  if (threads == 0) threads = 1;
+  const unsigned clamped = std::min<unsigned>(threads, num_shards());
+  if (clamped == sim_threads_) return;
+  sim_threads_ = clamped;
+  if (sim_threads_ > 1)
+    shard_pool_ = std::make_unique<ShardPool>(sim_threads_);
+  else
+    shard_pool_.reset();
 }
 
 void Network::build_ring() {
@@ -440,9 +486,10 @@ void Network::deliver_packet(PacketId id) {
 void Network::mark_router_active(RouterId r) {
   if (router_in_worklist_[r]) return;
   router_in_worklist_[r] = 1;
-  if (!active_routers_.empty() && r < active_routers_.back())
-    active_routers_sorted_ = false;
-  active_routers_.push_back(r);
+  ShardState& sh = shards_[shard_of_router_[r]];
+  if (!sh.active_routers.empty() && r < sh.active_routers.back())
+    sh.sorted = false;
+  sh.active_routers.push_back(r);
 }
 
 void Network::mark_node_pending(NodeId n) {
@@ -453,7 +500,8 @@ void Network::mark_node_pending(NodeId n) {
   active_nodes_.push_back(n);
 }
 
-void Network::advance_transfers() {
+template <bool kStaged>
+void Network::advance_transfers(ShardState& sh) {
   // The worklist prune is fused into this pass so the list is only walked
   // once before allocation: restore sorted order (marks append out of
   // order), then in one sweep drop routers that went idle since the last
@@ -461,18 +509,18 @@ void Network::advance_transfers() {
   // this cycle stay listed until the next cycle's sweep — update_throttle
   // relies on seeing a drained router once more to release its latch, and
   // compaction preserves the sorted order for the later phases.
-  if (!active_routers_sorted_) {
-    std::sort(active_routers_.begin(), active_routers_.end());
-    active_routers_sorted_ = true;
+  if (!sh.sorted) {
+    std::sort(sh.active_routers.begin(), sh.active_routers.end());
+    sh.sorted = true;
   }
   std::size_t w = 0;
-  for (const RouterId id : active_routers_) {
+  for (const RouterId id : sh.active_routers) {
     Router& r = routers_[id];
     if (!r.has_activity()) {
       router_in_worklist_[id] = 0;
       continue;
     }
-    active_routers_[w++] = id;
+    sh.active_routers[w++] = id;
     u64 mask = r.active_out_mask;
     while (mask != 0) {
       const u32 port = static_cast<u32>(__builtin_ctzll(mask));
@@ -487,13 +535,29 @@ void Network::advance_transfers() {
       const bool tail = out.phits_left == 1;
       const bool popped = fifo.pop_phit(pkt.size);
       OFAR_DCHECK(popped == tail);
-      if (in.in_channel != kInvalidChannel)
-        schedule_credit(in.in_channel, out.src_vc,
-                        channels_[in.in_channel].latency);
+      if (in.in_channel != kInvalidChannel) {
+        const u32 latency = channels_[in.in_channel].latency;
+        if constexpr (kStaged) {
+          OFAR_DCHECK(latency >= 1 && latency < wheel_size_);
+          sh.credit_out.push_back(
+              {static_cast<u32>((now_ + latency) % wheel_size_),
+               {in.in_channel, out.src_vc}});
+        } else {
+          schedule_credit(in.in_channel, out.src_vc, latency);
+        }
+      }
       Channel& ch = channels_[out.channel];
       ++ch.phits_carried;
-      schedule_phit(out.channel, out.active, out.active_vc, head, tail,
-                    ch.latency);
+      if constexpr (kStaged) {
+        OFAR_DCHECK(ch.latency >= 1 && ch.latency < wheel_size_);
+        sh.phit_out.push_back(
+            {static_cast<u32>((now_ + ch.latency) % wheel_size_),
+             {out.channel, out.active, out.active_vc, head ? u8{1} : u8{0},
+              tail ? u8{1} : u8{0}}});
+      } else {
+        schedule_phit(out.channel, out.active, out.active_vc, head, tail,
+                      ch.latency);
+      }
       --out.phits_left;
       --r.buffered_phits;
       if (popped) {
@@ -515,11 +579,12 @@ void Network::advance_transfers() {
       }
     }
   }
-  active_routers_.resize(w);
+  sh.active_routers.resize(w);
 }
 
-void Network::do_allocation() {
-  for (const RouterId id : active_routers_) {
+template <bool kStaged>
+void Network::do_allocation(ShardState& sh, u32 lane) {
+  for (const RouterId id : sh.active_routers) {
     Router& r = routers_[id];
     // No routable head means the port scan below would find nothing to
     // request: every buffered packet is either mid-transfer or queued
@@ -527,7 +592,7 @@ void Network::do_allocation() {
     // set never reaches the allocator, so no arbiter state changes) and
     // saves the scan for the packet_size cycles each grant streams.
     if (r.routable_heads == 0) continue;
-    reqs_scratch_.clear();
+    sh.reqs.clear();
     for (PortId port = 0; port < r.inputs.size(); ++port) {
       u8 mask = r.input_mask[port];
       if (mask == 0) continue;
@@ -538,7 +603,7 @@ void Network::do_allocation() {
         if (!in.has_head(vc)) continue;
         Packet& pkt = pool_.get(in.vcs[vc].head());
         const RouteChoice choice =
-            policy_->route(*this, r.id, port, vc, pkt);
+            policy_->route(*this, r.id, port, vc, pkt, lane);
         if (!choice.valid) {
           // No grantable output this cycle (busy or out of credits).
           if (telem_) telem_->note_credit_stall(r.id, port, vc);
@@ -547,15 +612,14 @@ void Network::do_allocation() {
         OFAR_DCHECK(!r.outputs[choice.out_port].busy());
         OFAR_DCHECK(r.outputs[choice.out_port].credits[choice.out_vc] >=
                     cfg_.packet_size);
-        reqs_scratch_.push_back(
-            {port, vc, in.vcs[vc].head(), choice, false});
+        sh.reqs.push_back({port, vc, in.vcs[vc].head(), choice, false});
       }
     }
-    if (reqs_scratch_.empty()) continue;
-    alloc_->run(r, reqs_scratch_, cfg_.allocator_iterations, now_);
-    for (const AllocRequest& rq : reqs_scratch_) {
+    if (sh.reqs.empty()) continue;
+    sh.alloc->run(r, sh.reqs, cfg_.allocator_iterations, now_);
+    for (const AllocRequest& rq : sh.reqs) {
       if (rq.granted) {
-        commit_grant(r, rq);
+        commit_grant<kStaged>(sh, r, rq);
       } else if (telem_) {
         telem_->note_alloc_stall(r.id, rq.in_port, rq.in_vc);
       }
@@ -563,7 +627,8 @@ void Network::do_allocation() {
   }
 }
 
-void Network::commit_grant(Router& r, const AllocRequest& rq) {
+template <bool kStaged>
+void Network::commit_grant(ShardState& sh, Router& r, const AllocRequest& rq) {
   OutputPort& out = r.outputs[rq.choice.out_port];
   Packet& pkt = pool_.get(rq.packet);
   OFAR_DCHECK(!out.busy());
@@ -587,22 +652,40 @@ void Network::commit_grant(Router& r, const AllocRequest& rq) {
       rq.choice.enter_ring || (pkt.in_ring && !rq.choice.exit_ring);
   if (rq.choice.enter_ring) {
     pkt.in_ring = true;
-    stats_.on_ring_enter(!pkt.ring_entered);
+    if constexpr (kStaged) {
+      // Stats writes race across shards; stage counts (commit_shard_staging
+      // folds them in shard order, matching on_ring_enter's semantics).
+      if (pkt.ring_entered)
+        ++sh.ring_reentries;
+      else
+        ++sh.ring_first_entries;
+    } else {
+      stats_.on_ring_enter(!pkt.ring_entered);
+    }
     pkt.ring_entered = true;
   } else if (rq.choice.exit_ring) {
     pkt.in_ring = false;
     ++pkt.ring_exits;
-    stats_.on_ring_exit();
+    if constexpr (kStaged)
+      ++sh.ring_exits;
+    else
+      stats_.on_ring_exit();
   }
   switch (rq.choice.misroute) {
     case MisrouteKind::kLocal:
       pkt.local_misrouted = true;
       pkt.flag_group = topo_.group_of(r.id);
-      stats_.on_local_misroute();
+      if constexpr (kStaged)
+        ++sh.local_misroutes;
+      else
+        stats_.on_local_misroute();
       break;
     case MisrouteKind::kGlobal:
       pkt.global_misrouted = true;
-      stats_.on_global_misroute();
+      if constexpr (kStaged)
+        ++sh.global_misroutes;
+      else
+        stats_.on_global_misroute();
       break;
     case MisrouteKind::kNone:
       break;
@@ -619,7 +702,10 @@ void Network::commit_grant(Router& r, const AllocRequest& rq) {
     ev.ring_move = ring_move;
     ev.src = pkt.src;
     ev.dst = pkt.dst;
-    tracer_(ev);
+    if constexpr (kStaged)
+      sh.traces.push_back(ev);  // flushed serially, in shard order
+    else
+      tracer_(ev);
   }
   if (!ring_move) {
     switch (topo_.port_class(rq.choice.out_port)) {
@@ -648,14 +734,16 @@ void Network::update_throttle() {
   // cycle the router drains — before the next cycle's prune (in
   // advance_transfers) drops it. Idle routers therefore behave exactly as
   // under the full scan.
-  for (const RouterId id : active_routers_) {
-    Router& r = routers_[id];
-    const double occ = static_cast<double>(r.buffered_phits) /
-                       static_cast<double>(r.buffer_capacity_phits);
-    if (r.throttled) {
-      if (occ < cfg_.throttle_off) r.throttled = false;
-    } else if (occ > cfg_.throttle_on) {
-      r.throttled = true;
+  for (const ShardState& sh : shards_) {
+    for (const RouterId id : sh.active_routers) {
+      Router& r = routers_[id];
+      const double occ = static_cast<double>(r.buffered_phits) /
+                         static_cast<double>(r.buffer_capacity_phits);
+      if (r.throttled) {
+        if (occ < cfg_.throttle_off) r.throttled = false;
+      } else if (occ > cfg_.throttle_on) {
+        r.throttled = true;
+      }
     }
   }
 }
@@ -709,10 +797,14 @@ void Network::step() {
     step_instrumented();
     return;
   }
+  if (shards_.size() > 1) {
+    step_sharded();
+    return;
+  }
   deliver_events();
   policy_->tick(*this);
-  advance_transfers();  // also prunes + sorts the router worklist
-  do_allocation();
+  advance_transfers<false>(shards_[0]);  // also prunes + sorts the worklist
+  do_allocation<false>(shards_[0], 0);
   do_injection();
   if (now_ % kWatchdogPeriod == 0 && now_ != 0) run_watchdog();
   ++now_;
@@ -720,15 +812,163 @@ void Network::step() {
 }
 
 void Network::step_instrumented() {
+  if (shards_.size() > 1) {
+    step_sharded_instrumented();
+    return;
+  }
   PhaseProfiler& prof = telem_->profiler();
   prof.start_cycle(now_);
   deliver_events();
   prof.phase_done(SimPhase::kEventDelivery);
   policy_->tick(*this);
   prof.phase_done(SimPhase::kPolicyTick);
-  advance_transfers();
+  advance_transfers<false>(shards_[0]);
   prof.phase_done(SimPhase::kTransfers);
-  do_allocation();
+  do_allocation<false>(shards_[0], 0);
+  prof.phase_done(SimPhase::kAllocation);
+  do_injection();
+  prof.phase_done(SimPhase::kInjection);
+  const bool watchdog = now_ % kWatchdogPeriod == 0 && now_ != 0;
+  if (watchdog) {
+    run_watchdog();
+    prof.phase_done(SimPhase::kWatchdog);
+  }
+  prof.end_cycle(watchdog);
+  ++now_;
+  if (now_ >= next_audit_) [[unlikely]] run_audit();
+  telem_->maybe_sample(*this, now_);
+}
+
+// ---------------------------------------------------------------------------
+// sharded cycle kernel (num_shards() > 1; see DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+void Network::run_shard_phase(const std::function<void(u32)>& fn) {
+  if (shard_pool_ != nullptr) {
+    shard_pool_->parallel_phase(num_shards(), fn);
+  } else {
+    // Single-threaded execution of the same shard program, in shard order.
+    // Shards are mutually independent within a phase, so this is exactly
+    // what any schedule of the pool computes — the thread-invariance
+    // contract in one line.
+    for (u32 s = 0; s < num_shards(); ++s) fn(s);
+  }
+}
+
+void Network::deliver_events_shard(ShardState& sh, u32 shard) {
+  // Every shard scans the full slot and applies only the events it owns:
+  // a phit event belongs to the destination router's shard (it fills that
+  // router's input FIFO), an ejection to the source router's shard (its
+  // effect — the delivery — is staged anyway), a credit to the source
+  // router's shard (it replenishes that router's output credits). The scan
+  // itself is read-only and the slot is cleared serially afterwards, so
+  // shards share it safely.
+  const u32 slot = static_cast<u32>(now_ % wheel_size_);
+  for (const PhitEvent& e : phit_wheel_[slot]) {
+    const Channel& ch = channels_[e.ch];
+    if (ch.is_ejection()) {
+      if (shard_of_router_[ch.src_router] != shard) continue;
+      OFAR_DCHECK(ch.dst_node == pool_.get(e.pkt).dst);
+      if (e.tail) sh.delivered.push_back(e.pkt);
+      continue;
+    }
+    if (shard_of_router_[ch.dst_router] != shard) continue;
+    Router& dst = routers_[ch.dst_router];
+    VcFifo& fifo = dst.inputs[ch.dst_port].vcs[e.vc];
+    if (e.head) {
+      if (fifo.empty()) ++dst.routable_heads;  // becomes a head
+      fifo.push_packet(e.pkt);
+      ++dst.buffered_packets;
+      dst.input_mask[ch.dst_port] |= static_cast<u8>(1u << e.vc);
+      mark_router_active(ch.dst_router);
+    } else {
+      fifo.push_phit();
+    }
+    ++dst.buffered_phits;
+    OFAR_DCHECK(fifo.stored_phits() <= fifo.capacity());
+  }
+  for (const CreditEvent& e : credit_wheel_[slot]) {
+    const Channel& ch = channels_[e.ch];
+    if (shard_of_router_[ch.src_router] != shard) continue;
+    OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
+    OFAR_DCHECK(e.vc < out.credits.size());
+    ++out.credits[e.vc];
+    OFAR_DCHECK(out.credits[e.vc] <= out.credit_cap[e.vc]);
+  }
+}
+
+void Network::commit_shard_deliveries() {
+  // Safe to clear before the deliveries commit: deliver_packet never
+  // touches the wheels, and no event can target the current slot (every
+  // latency is >= 1 and wheel_size_ >= 2).
+  const u32 slot = static_cast<u32>(now_ % wheel_size_);
+  phit_wheel_[slot].clear();
+  credit_wheel_[slot].clear();
+  for (ShardState& sh : shards_) {
+    for (const PacketId id : sh.delivered) deliver_packet(id);
+    sh.delivered.clear();
+  }
+}
+
+void Network::commit_shard_staging() {
+  for (ShardState& sh : shards_) {
+    if (tracer_) {
+      for (const TraceEvent& ev : sh.traces) tracer_(ev);
+    }
+    sh.traces.clear();
+    stats_.on_ring_enters(sh.ring_first_entries, sh.ring_reentries);
+    stats_.on_ring_exits(sh.ring_exits);
+    stats_.on_local_misroutes(sh.local_misroutes);
+    stats_.on_global_misroutes(sh.global_misroutes);
+    sh.ring_first_entries = sh.ring_reentries = sh.ring_exits = 0;
+    sh.local_misroutes = sh.global_misroutes = 0;
+    // Within a shard the outbox is in generation order (router-ascending),
+    // so the shard-ascending flush reproduces the global router-ascending
+    // order a sequential scan would have pushed — commit order is a
+    // function of ids, never of thread arrival.
+    for (const StagedPhit& sp : sh.phit_out)
+      phit_wheel_[sp.slot].push_back(sp.ev);
+    sh.phit_out.clear();
+    for (const StagedCredit& sc : sh.credit_out)
+      credit_wheel_[sc.slot].push_back(sc.ev);
+    sh.credit_out.clear();
+  }
+}
+
+void Network::step_sharded() {
+  run_shard_phase([this](u32 s) { deliver_events_shard(shards_[s], s); });
+  commit_shard_deliveries();
+  policy_->tick(*this);
+  // Transfers and allocation fuse into one parallel phase: during both, a
+  // shard reads and writes only its own routers (allocation consumes credit
+  // state only the same shard's transfers touch), so no barrier is needed
+  // between them within a shard program.
+  run_shard_phase([this](u32 s) {
+    advance_transfers<true>(shards_[s]);
+    do_allocation<true>(shards_[s], s);
+  });
+  commit_shard_staging();
+  do_injection();
+  if (now_ % kWatchdogPeriod == 0 && now_ != 0) run_watchdog();
+  ++now_;
+  if (now_ >= next_audit_) [[unlikely]] run_audit();
+}
+
+void Network::step_sharded_instrumented() {
+  // Identical staging content and commit order as step_sharded(); the only
+  // difference is an extra barrier between transfers and allocation so the
+  // profiler can attribute their time separately. Digests are unaffected.
+  PhaseProfiler& prof = telem_->profiler();
+  prof.start_cycle(now_);
+  run_shard_phase([this](u32 s) { deliver_events_shard(shards_[s], s); });
+  commit_shard_deliveries();
+  prof.phase_done(SimPhase::kEventDelivery);
+  policy_->tick(*this);
+  prof.phase_done(SimPhase::kPolicyTick);
+  run_shard_phase([this](u32 s) { advance_transfers<true>(shards_[s]); });
+  prof.phase_done(SimPhase::kTransfers);
+  run_shard_phase([this](u32 s) { do_allocation<true>(shards_[s], s); });
+  commit_shard_staging();
   prof.phase_done(SimPhase::kAllocation);
   do_injection();
   prof.phase_done(SimPhase::kInjection);

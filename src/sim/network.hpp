@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "routing/routing.hpp"
@@ -76,6 +77,19 @@ class Network {
   void run(u64 cycles);
   Cycle now() const noexcept { return now_; }
 
+  // ---- sharded cycle kernel (DESIGN.md §10) ----
+  /// Number of contiguous router shards the kernel was partitioned into
+  /// (cfg.sim_shards clamped to the router count). 1 selects the original
+  /// sequential kernel; K > 1 selects the staged-commit kernel whose
+  /// per-seed results are identical at ANY worker-thread count.
+  u32 num_shards() const noexcept;
+  /// Sets the number of worker threads driving the sharded kernel's
+  /// parallel phases (clamped to [1, num_shards()]). Purely an execution
+  /// knob: results are bit-identical for every value, so it is NOT part of
+  /// the experiment content key. Callable between steps at any time.
+  void set_sim_threads(unsigned threads);
+  unsigned sim_threads() const noexcept { return sim_threads_; }
+
   /// Installs the traffic source (owned).
   void set_traffic(std::unique_ptr<TrafficSource> source);
   TrafficSource* traffic() { return traffic_.get(); }
@@ -107,9 +121,7 @@ class Network {
   RoutingPolicy& policy() noexcept { return *policy_; }
 
   // ---- activity queries (telemetry) ----
-  std::size_t active_router_count() const noexcept {
-    return active_routers_.size();
-  }
+  std::size_t active_router_count() const noexcept;
   std::size_t active_node_count() const noexcept {
     return active_nodes_.size();
   }
@@ -211,14 +223,68 @@ class Network {
     Cycle birth;
   };
 
+  /// An event staged in a shard outbox during a parallel phase, with its
+  /// wheel slot precomputed so the serial commit is a plain push.
+  struct StagedPhit {
+    u32 slot;
+    PhitEvent ev;
+  };
+  struct StagedCredit {
+    u32 slot;
+    CreditEvent ev;
+  };
+
+  /// Per-shard kernel state (DESIGN.md §10). Routers are partitioned into
+  /// contiguous id ranges; nodes follow their router (router_of_node is
+  /// n / p), so a shard owns [router_begin * p, router_end * p) nodes too.
+  /// During a parallel phase a shard touches only its own routers plus this
+  /// struct; every cross-shard effect (phit/credit events, stats, traces,
+  /// deliveries) is staged here and committed serially in shard-ascending
+  /// order — which equals router-ascending generation order, i.e. exactly
+  /// the order the sequential kernel would have produced. Never commit by
+  /// thread-arrival order.
+  struct ShardState {
+    RouterId router_begin = 0;
+    RouterId router_end = 0;
+
+    // Activity worklist of this shard's routers (see the invariants on the
+    // worklist comment below; they hold per shard).
+    std::vector<RouterId> active_routers;
+    bool sorted = true;
+
+    // Allocation scratch: the separable allocator keeps per-port arbiters
+    // reusable state, so each shard owns one (plus a request buffer).
+    std::unique_ptr<SeparableAllocator> alloc;
+    std::vector<AllocRequest> reqs;
+
+    // Outboxes and staged side effects, only used when num_shards() > 1.
+    std::vector<StagedPhit> phit_out;
+    std::vector<StagedCredit> credit_out;
+    std::vector<PacketId> delivered;  ///< ejected tails, slot-scan order
+    std::vector<TraceEvent> traces;
+    u64 ring_first_entries = 0;
+    u64 ring_reentries = 0;
+    u64 ring_exits = 0;
+    u64 local_misroutes = 0;
+    u64 global_misroutes = 0;
+  };
+
   void build_channels();
   void build_ring();
   void size_output_credits();
 
   void deliver_events();
   void update_throttle();
-  void advance_transfers();
-  void do_allocation();
+  /// Transfer/allocation phases, per shard. kStaged = false writes events,
+  /// stats and traces directly (the K = 1 sequential kernel, bit-identical
+  /// to the pre-shard implementation); kStaged = true routes every
+  /// cross-shard effect through the shard's outbox for the serial commit.
+  template <bool kStaged>
+  void advance_transfers(ShardState& sh);
+  template <bool kStaged>
+  void do_allocation(ShardState& sh, u32 lane);
+  template <bool kStaged>
+  void commit_grant(ShardState& sh, Router& r, const AllocRequest& rq);
   void do_injection();
   void run_watchdog();
   /// step() with the phase profiler wrapped around each phase; selected by
@@ -227,6 +293,25 @@ class Network {
   /// Periodic auditor driver: runs the full check suite and aborts with the
   /// report on any violation. Reschedules itself audit_interval_ ahead.
   void run_audit();
+
+  // ---- sharded kernel (num_shards() > 1 only) ----
+  /// One shard's slice of event delivery: scans the full wheel slot and
+  /// applies only the events it owns (phit: the destination router's shard;
+  /// ejection and credit: the source router's shard). Read-shared /
+  /// write-own, so shards need no locks; the slot is cleared serially
+  /// afterwards in commit_shard_deliveries().
+  void deliver_events_shard(ShardState& sh, u32 shard);
+  /// Serial: clears the current wheel slot and performs the staged packet
+  /// deliveries (stats doubles, tracer, pool destroy) in shard order.
+  void commit_shard_deliveries();
+  /// Serial: flushes staged traces/stat counters and commits the event
+  /// outboxes into the wheels, in shard-ascending order.
+  void commit_shard_staging();
+  /// Dispatches fn(shard) for every shard on the worker pool (or inline
+  /// when single-threaded) and waits for all of them.
+  void run_shard_phase(const std::function<void(u32)>& fn);
+  void step_sharded();
+  void step_sharded_instrumented();
 
   // ---- activity worklists ----
   /// Adds router r to the active worklist (idempotent). Called whenever a
@@ -239,9 +324,6 @@ class Network {
 
   /// Creates the packet object for an accepted injection.
   void place_packet(NodeId src, const Offer& offer);
-  /// Commits one allocator grant: starts the transfer, spends credits,
-  /// updates packet routing state and stats.
-  void commit_grant(Router& r, const AllocRequest& rq);
   /// Final delivery at the destination node.
   void deliver_packet(PacketId id);
 
@@ -271,30 +353,38 @@ class Network {
   u64 delivered_total_ = 0;  // lifetime, never reset
 
   // Activity worklists (see class comment). Invariants:
-  //  - router_in_worklist_[r] != 0  <=>  r appears in active_routers_;
-  //  - every router with Router::has_activity() is in the list (the list may
-  //    additionally hold routers that went idle since the last refresh);
+  //  - router_in_worklist_[r] != 0  <=>  r appears in the active_routers
+  //    list of its owning shard (shards_[shard_of_router_[r]]);
+  //  - every router with Router::has_activity() is in its shard's list (the
+  //    list may additionally hold routers that went idle since the last
+  //    refresh);
   //  - active_nodes_ holds exactly the nodes with a non-empty pending_
   //    queue after each do_injection.
-  // The *_sorted_ flags let marks append out of order; the per-cycle
-  // refresh/drain re-sorts before any phase iterates.
-  std::vector<RouterId> active_routers_;
+  // The sorted flags let marks append out of order; the per-cycle
+  // refresh/drain re-sorts before any phase iterates. The router worklist
+  // lives inside ShardState (one list per shard; K = 1 keeps the single
+  // list of the sequential kernel); the node worklist stays global because
+  // injection is always a serial phase.
+  std::vector<ShardState> shards_;
+  std::vector<u32> shard_of_router_;
   std::vector<u8> router_in_worklist_;
-  bool active_routers_sorted_ = true;
   std::vector<NodeId> active_nodes_;
   std::vector<u8> node_in_worklist_;
   bool active_nodes_sorted_ = true;
 
-  // Event wheels indexed by cycle % wheel size.
+  // Worker pool for the sharded kernel's parallel phases; null when
+  // sim_threads_ == 1 (phases run inline on the calling thread).
+  std::unique_ptr<ShardPool> shard_pool_;
+  unsigned sim_threads_ = 1;
+
+  // Event wheels indexed by cycle % wheel size. Global (not per shard):
+  // every event has latency >= 1, so shards only ever read the current
+  // slot concurrently and push to future slots through their outboxes.
   std::vector<std::vector<PhitEvent>> phit_wheel_;
   std::vector<std::vector<CreditEvent>> credit_wheel_;
   u32 wheel_size_ = 0;
 
   Cycle now_ = 0;
-
-  // Scratch buffers reused across cycles.
-  std::unique_ptr<SeparableAllocator> alloc_;
-  std::vector<AllocRequest> reqs_scratch_;
 
   // Opt-in invariant auditing (see enable_audit). next_audit_ stays at the
   // Cycle max sentinel while disabled, so the per-cycle test in step() is a

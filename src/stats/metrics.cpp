@@ -239,8 +239,8 @@ void Telemetry::sample_tail(const Network& net, const Stats& st, Cycle now,
   reg_.set(id_mis_local_, static_cast<double>(st.local_misroutes()));
   reg_.set(id_mis_global_, static_cast<double>(st.global_misroutes()));
 
-  reg_.set(id_stall_credit_, static_cast<double>(credit_stall_total_));
-  reg_.set(id_stall_alloc_, static_cast<double>(alloc_stall_total_));
+  reg_.set(id_stall_credit_, static_cast<double>(credit_stall_cycles()));
+  reg_.set(id_stall_alloc_, static_cast<double>(alloc_stall_cycles()));
   reg_.set(id_wl_routers_, static_cast<double>(net.active_router_count()));
   reg_.set(id_wl_nodes_, static_cast<double>(net.active_node_count()));
   reg_.set(id_wd_stalled_, static_cast<double>(st.stalled_packets()));
@@ -597,8 +597,8 @@ void Telemetry::write_summary(const Network& net) {
     row("stats.ring_packets", static_cast<double>(st.ring_packets()));
     row("stats.ring_reentries", static_cast<double>(st.ring_reentries()));
     row("stats.ring_use_fraction", st.ring_use_fraction());
-    row("stalls.credit_cycles", static_cast<double>(credit_stall_total_));
-    row("stalls.alloc_cycles", static_cast<double>(alloc_stall_total_));
+    row("stalls.credit_cycles", static_cast<double>(credit_stall_cycles()));
+    row("stalls.alloc_cycles", static_cast<double>(alloc_stall_cycles()));
     for (u32 i = 0; i < kNumSimPhases; ++i) {
       char name[64];
       std::snprintf(name, sizeof name, "phase.%s.seconds",
@@ -642,8 +642,8 @@ void Telemetry::write_summary(const Network& net) {
   w.end_object();
 
   w.key("stalls").begin_object();
-  w.key("credit_cycles").value(credit_stall_total_);
-  w.key("alloc_cycles").value(alloc_stall_total_);
+  w.key("credit_cycles").value(credit_stall_cycles());
+  w.key("alloc_cycles").value(alloc_stall_cycles());
   w.key("top").begin_array();
   for (const TopVc& t : top) {
     w.begin_object();

@@ -263,16 +263,19 @@ class Telemetry {
   const PhaseProfiler& profiler() const noexcept { return prof_; }
 
   // ---- hot-path hooks (only reached when telemetry is enabled) ----
+  // Both hooks may be called concurrently from the sharded kernel's
+  // parallel allocation phase, so they only touch the per-(router,port,VC)
+  // slot — disjoint across shards because a router belongs to exactly one.
+  // The run totals are derived by summation in credit/alloc_stall_cycles()
+  // instead of a shared counter, which would race.
   /// A routable head at (r, p, v) produced no grantable route this cycle
   /// (minimal and every eligible non-minimal output busy or out of credits).
   void note_credit_stall(RouterId r, PortId p, VcId v) {
     ++vc_credit_stall_[vc_index(r, p, v)];
-    ++credit_stall_total_;
   }
   /// A head requested an output but lost separable allocation this cycle.
   void note_alloc_stall(RouterId r, PortId p, VcId v) {
     ++vc_alloc_stall_[vc_index(r, p, v)];
-    ++alloc_stall_total_;
   }
 
   /// Samples the registry (and emits an interval record) when `now` crosses
@@ -302,8 +305,18 @@ class Telemetry {
   void write_summary(const Network& net);
 
   // ---- in-memory queries (tests, drivers) ----
-  u64 credit_stall_cycles() const noexcept { return credit_stall_total_; }
-  u64 alloc_stall_cycles() const noexcept { return alloc_stall_total_; }
+  // Totals are summed on demand (sample-rate paths only, never per cycle);
+  // see the note on note_credit_stall above.
+  u64 credit_stall_cycles() const noexcept {
+    u64 total = 0;
+    for (const u64 n : vc_credit_stall_) total += n;
+    return total;
+  }
+  u64 alloc_stall_cycles() const noexcept {
+    u64 total = 0;
+    for (const u64 n : vc_alloc_stall_) total += n;
+    return total;
+  }
   u64 samples_taken() const noexcept { return samples_; }
   u64 forensic_dumps() const noexcept { return forensic_dumps_; }
   /// Edges of the most recent forensics dump (empty before the first trip).
@@ -339,8 +352,6 @@ class Telemetry {
   std::vector<u64> vc_alloc_stall_;   ///< per input VC, grants lost
   std::vector<u64> prev_phits_;   ///< per channel, phits_carried at last sample
   std::vector<u64> delta_scratch_;  ///< per channel, phits this interval
-  u64 credit_stall_total_ = 0;
-  u64 alloc_stall_total_ = 0;
 
   Cycle next_sample_ = 0;
   Cycle last_sample_cycle_ = 0;

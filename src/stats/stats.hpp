@@ -125,6 +125,20 @@ class Stats {
     }
   }
   void on_ring_exit() { ++ring_exits_; }
+
+  // ---- bulk hooks (sharded kernel's serial commit; DESIGN.md §10) ----
+  // Per-shard staged counts folded in shard order. Each is the exact sum
+  // of the per-event hook above over the staged events, so a sharded run
+  // and a sequential replay of the same grants agree on every counter.
+  void on_ring_enters(u64 first_entries, u64 reentries) {
+    ring_entries_ += first_entries + reentries;
+    ring_packets_ += first_entries;
+    ring_reentries_ += reentries;
+  }
+  void on_ring_exits(u64 n) { ring_exits_ += n; }
+  void on_local_misroutes(u64 n) { local_misroutes_ += n; }
+  void on_global_misroutes(u64 n) { global_misroutes_ += n; }
+
   void on_watchdog(u64 stalled, u64 worst_stall) {
     stalled_packets_ = stalled;
     worst_stall_ = std::max(worst_stall_, worst_stall);

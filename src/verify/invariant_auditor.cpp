@@ -259,17 +259,29 @@ void InvariantAuditor::check_worklists(AuditReport& rep) const {
   ++rep.checks_run;
   // Router list: flags and list membership must agree, and every router
   // with activity must be listed (soundness: the list may additionally
-  // hold routers that went idle since the last refresh).
+  // hold routers that went idle since the last refresh). Worklists are
+  // per shard (DESIGN.md §10); each entry must also belong to the shard
+  // that lists it, or two shards could advance the same router in
+  // parallel.
   std::vector<u8> listed(net_.routers_.size(), 0);
-  for (const RouterId r : net_.active_routers_) {
-    if (r >= net_.routers_.size() || listed[r]) {
-      add(rep, Invariant::kWorklists,
-          format("router worklist holds %s id %u",
-                 r >= net_.routers_.size() ? "out-of-range" : "duplicate",
-                 r));
-      continue;
+  for (u32 s = 0; s < net_.shards_.size(); ++s) {
+    const Network::ShardState& sh = net_.shards_[s];
+    for (const RouterId r : sh.active_routers) {
+      if (r >= net_.routers_.size() || listed[r]) {
+        add(rep, Invariant::kWorklists,
+            format("shard %u worklist holds %s router id %u", s,
+                   r >= net_.routers_.size() ? "out-of-range" : "duplicate",
+                   r));
+        continue;
+      }
+      if (r < sh.router_begin || r >= sh.router_end) {
+        add(rep, Invariant::kWorklists,
+            format("shard %u [%u,%u) lists router %u owned by another "
+                   "shard — parallel phases would race on it",
+                   s, sh.router_begin, sh.router_end, r));
+      }
+      listed[r] = 1;
     }
-    listed[r] = 1;
   }
   for (RouterId r = 0; r < net_.routers_.size(); ++r) {
     if (listed[r] != net_.router_in_worklist_[r]) {

@@ -298,5 +298,34 @@ TEST(Parallel, SequentialFallback) {
   EXPECT_EQ(counter, 5);
 }
 
+TEST(Parallel, ShardPoolRunsEveryIndexExactlyOncePerPhase) {
+  ShardPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::vector<std::atomic<int>> hits(13);
+  // Many phases through one pool: reuse must not double-run or skip an
+  // index, and the return from parallel_phase is a full barrier.
+  for (int phase = 0; phase < 50; ++phase) {
+    pool.parallel_phase(13, [&](u32 i) { hits[i].fetch_add(1); });
+    for (u32 i = 0; i < 13; ++i)
+      ASSERT_EQ(hits[i].load(), phase + 1) << "phase " << phase;
+  }
+}
+
+TEST(Parallel, ShardPoolHandlesFewerShardsThanThreads) {
+  ShardPool pool(8);
+  std::atomic<int> hits{0};
+  pool.parallel_phase(3, [&](u32) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 3);
+  pool.parallel_phase(0, [&](u32) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 3);
+}
+
+TEST(Parallel, ShardPoolSingleThreadRunsInline) {
+  ShardPool pool(1);
+  std::vector<u32> order;
+  pool.parallel_phase(5, [&](u32 i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<u32>{0, 1, 2, 3, 4}));
+}
+
 }  // namespace
 }  // namespace ofar

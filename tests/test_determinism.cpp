@@ -205,5 +205,115 @@ TEST(Invariants, WorklistsConsistentMidFlight) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// 5. Sharded cycle kernel (DESIGN.md §10). With sim_shards > 1 the staged
+//    commit kernel is its own deterministic universe: its results differ
+//    from sim_shards=1 (allocation/injection interleaving changes), but must
+//    be bit-identical across every sim_threads value — the thread count is
+//    pure execution policy. Test names contain "Thread" so the CI TSAN
+//    job's --gtest_filter picks them up.
+// ---------------------------------------------------------------------------
+
+/// Small network (h=2: 36 routers, 72 nodes) so a saturated run stays fast.
+SimConfig sharded_config(u32 shards, RingKind ring) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.seed = 12345;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = ring;
+  cfg.sim_shards = shards;
+  return cfg;
+}
+
+Digest run_sharded_sat(const SimConfig& cfg, unsigned sim_threads,
+                       const TrafficPattern& pattern, double load) {
+  Network net(cfg);
+  net.set_sim_threads(sim_threads);
+  net.set_traffic(std::make_unique<BernoulliSource>(pattern, load, cfg.seed));
+  net.run(3000);
+  return digest(net);
+}
+
+TEST(ShardedKernel, SaturatedPhysicalRingIdenticalAcrossThreadCounts) {
+  const SimConfig cfg = sharded_config(4, RingKind::kPhysical);
+  const Digest one =
+      run_sharded_sat(cfg, 1, TrafficPattern::adversarial(1), 0.7);
+  // Saturated adversarial traffic exercises misroutes and the escape ring;
+  // a commit ordered by thread arrival instead of shard index would diverge
+  // here within a few cycles.
+  expect_digest_eq(one,
+                   run_sharded_sat(cfg, 2, TrafficPattern::adversarial(1),
+                                   0.7));
+  expect_digest_eq(one,
+                   run_sharded_sat(cfg, 4, TrafficPattern::adversarial(1),
+                                   0.7));
+}
+
+TEST(ShardedKernel, SaturatedEmbeddedRingIdenticalAcrossThreadCounts) {
+  const SimConfig cfg = sharded_config(4, RingKind::kEmbedded);
+  const Digest one =
+      run_sharded_sat(cfg, 1, TrafficPattern::adversarial(1), 0.7);
+  expect_digest_eq(one,
+                   run_sharded_sat(cfg, 2, TrafficPattern::adversarial(1),
+                                   0.7));
+  expect_digest_eq(one,
+                   run_sharded_sat(cfg, 4, TrafficPattern::adversarial(1),
+                                   0.7));
+}
+
+TEST(ShardedKernel, UniformSaturationIdenticalAcrossThreadCounts) {
+  const SimConfig cfg = sharded_config(4, RingKind::kPhysical);
+  const Digest one = run_sharded_sat(cfg, 1, TrafficPattern::uniform(), 1.0);
+  expect_digest_eq(one,
+                   run_sharded_sat(cfg, 4, TrafficPattern::uniform(), 1.0));
+}
+
+TEST(ShardedKernel, GroupStraddlingShardBoundariesIdenticalAcrossThreads) {
+  // 36 routers / 7 shards puts every shard boundary inside a group
+  // (boundaries at routers 5,10,15,20,25,30; groups are 4 routers wide), so
+  // intra-group traffic constantly crosses shards. Exercises the staged
+  // outbox commit far harder than group-aligned partitions.
+  const SimConfig cfg = sharded_config(7, RingKind::kPhysical);
+  const Digest one =
+      run_sharded_sat(cfg, 1, TrafficPattern::adversarial(1), 0.7);
+  expect_digest_eq(one,
+                   run_sharded_sat(cfg, 2, TrafficPattern::adversarial(1),
+                                   0.7));
+  expect_digest_eq(one,
+                   run_sharded_sat(cfg, 4, TrafficPattern::adversarial(1),
+                                   0.7));
+}
+
+TEST(ShardedKernel, ReplayWithThreadsIsByteIdentical) {
+  const SimConfig cfg = sharded_config(4, RingKind::kPhysical);
+  const Digest a =
+      run_sharded_sat(cfg, 4, TrafficPattern::adversarial(1), 0.7);
+  const Digest b =
+      run_sharded_sat(cfg, 4, TrafficPattern::adversarial(1), 0.7);
+  expect_digest_eq(a, b);
+}
+
+TEST(ShardedKernel, DrainedShardedNetworkIsConsistentAcrossThreads) {
+  // Burst then drain on the sharded kernel: structural invariants must hold
+  // and the drained digest must match a single-threaded run.
+  auto drain = [](unsigned sim_threads) {
+    SimConfig cfg = sharded_config(4, RingKind::kPhysical);
+    Network net(cfg);
+    net.set_sim_threads(sim_threads);
+    std::vector<PhasedSource::Phase> phases(1);
+    phases[0].pattern = TrafficPattern::uniform();
+    phases[0].load_phits = 0.05;
+    phases[0].until = 1000;
+    net.set_traffic(std::make_unique<PhasedSource>(std::move(phases), 12345));
+    net.run(20000);
+    EXPECT_TRUE(net.drained());
+    EXPECT_TRUE(net.check_flow_conservation());
+    EXPECT_TRUE(net.check_quiescent());
+    EXPECT_TRUE(net.check_worklists());
+    return digest(net);
+  };
+  expect_digest_eq(drain(1), drain(4));
+}
+
 }  // namespace
 }  // namespace ofar

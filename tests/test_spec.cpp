@@ -233,7 +233,7 @@ TEST(Spec, PointKeyIsStableAcrossCalls) {
   EXPECT_EQ(k, point_key(p));
   // The canonical text is human-readable and carries the schema version.
   const std::string text = canonical_point(p);
-  EXPECT_NE(text.find("v1;kind=steady;seed=3;"), std::string::npos) << text;
+  EXPECT_NE(text.find("v2;kind=steady;seed=3;"), std::string::npos) << text;
   EXPECT_NE(text.find("routing=OFAR"), std::string::npos) << text;
 }
 
@@ -263,6 +263,11 @@ TEST(Spec, PointKeyChangesWithEverySemanticField) {
   q = p;
   q.kind = RunKind::kBurst;
   EXPECT_NE(point_key(q), k);
+  // sim_shards selects a different (still deterministic) kernel universe,
+  // so it is semantic and must miss the cache.
+  q = p;
+  q.cfg.sim_shards = 4;
+  EXPECT_NE(point_key(q), k);
 }
 
 TEST(Spec, PointKeyIgnoresInstrumentationAndLabels) {
@@ -277,6 +282,9 @@ TEST(Spec, PointKeyIgnoresInstrumentationAndLabels) {
   q.run.metrics_interval = 17;
   q.run.metrics_full = true;
   q.run.metrics_label = "curve A";
+  // sim_threads is execution policy: any thread count yields bit-identical
+  // results for a given sim_shards, so it must hit the same cache entry.
+  q.run.sim_threads = 4;
   EXPECT_EQ(point_key(q), k);
   q = p;
   q.mechanism = "renamed";

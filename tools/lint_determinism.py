@@ -13,7 +13,11 @@ quietly break that property when they sneak into src/:
     decisions must depend on the cycle counter only;
   * unordered associative containers — their iteration order varies across
     libstdc++ versions and ASLR runs, so any loop over one is a latent
-    replay divergence. The core uses vectors indexed by dense ids.
+    replay divergence. The core uses vectors indexed by dense ids;
+  * raw std::thread / std::async outside common/parallel, and range-for
+    iteration over unordered containers (which on a sharded-kernel commit
+    path would order cross-shard effects by hash layout instead of shard
+    index — DESIGN.md §10).
 
 A finding can be waived for a reviewed reason with a trailing
 `// lint: allow(<rule>)` comment on the offending line.
@@ -58,12 +62,36 @@ RULES = [
         "iteration order is not deterministic across runs; use a vector "
         "indexed by dense ids (or sort before iterating)",
     ),
+    (
+        "raw-thread",
+        re.compile(
+            r"std::(?:thread(?!::hardware_concurrency)|jthread|async)"
+        ),
+        "src/",
+        "raw threading primitive; all simulation parallelism must go "
+        "through common/parallel (ShardPool / parallel_for), whose phase "
+        "barriers are what make shard-ordered commits possible",
+    ),
+    (
+        "unordered-commit",
+        re.compile(
+            r"for\s*\([^;)]*:\s*[^)]*unordered[^)]*\)"
+        ),
+        "src/",
+        "range-for over an unordered container: on a cross-shard commit "
+        "path this orders wheel/stats commits by hash-table layout instead "
+        "of shard index and breaks digest equality across thread counts "
+        "(DESIGN.md §10); iterate shards_/channels in index order",
+    ),
 ]
 
 # Reviewed exceptions by (rule, path prefix): telemetry may timestamp its
-# records with real time, which never feeds back into the simulation.
+# records with real time, which never feeds back into the simulation;
+# common/parallel is the one place allowed to own std::thread (it is the
+# layer the raw-thread rule funnels everyone else into).
 ALLOWED_PREFIXES = {
     ("wall-clock", "src/stats/"),
+    ("raw-thread", "src/common/parallel"),
 }
 
 SUPPRESS = re.compile(r"//\s*lint:\s*allow\((?P<rule>[\w-]+)\)")
