@@ -10,10 +10,10 @@
 //   ofar_run --list                          list presets
 //
 // Shared flags (see bench_common.hpp): --csv-dir, --threads, --sim-threads,
-// --cache-dir,
-// --no-cache, --stop-after, --metrics-*, --audit*. Preset runs additionally
-// accept the preset's historical flags (--h, --seed, --warmup, ...); spec
-// runs take the experiment shape from the JSON file instead.
+// --cache-dir, --no-cache, --stop-after, --metrics-*, --audit*, --trace-*.
+// Preset runs additionally accept the preset's historical flags (--h,
+// --seed, --warmup, ...); spec runs take the experiment shape from the
+// JSON file instead.
 #include <cstdio>
 
 #include "presets.hpp"
@@ -28,6 +28,8 @@ void usage() {
       "  ofar_run --spec FILE   [--csv-dir D] [--threads T] [--sim-threads N]\n"
       "                         [--cache-dir D]\n"
       "                         [--no-cache] [--stop-after N] [--metrics-out F]\n"
+      "                         [--trace-out F] [--trace-links F]\n"
+      "                         [--trace-sample N]\n"
       "  ofar_run --preset NAME [preset flags...]\n"
       "  ofar_run --list\n"
       "\n"

@@ -893,6 +893,9 @@ int run_units(const std::vector<PresetUnit>& units, const BenchOptions& opts,
   oo.metrics_sink = opts.metrics.get();
   oo.metrics_interval = opts.metrics_interval;
   oo.metrics_full = opts.metrics_full;
+  oo.trace_out = opts.trace_out;
+  oo.trace_links = opts.trace_links;
+  oo.trace_sample = opts.trace_sample;
   oo.stop_flag = opts.stop_flag;
   oo.stop_after = opts.stop_after;
 

@@ -15,21 +15,30 @@ RouteChoice EscapeRingControl::ring_step(Network& net, RouterId at,
   return RouteChoice::to(ro.port, vc);
 }
 
-RouteChoice EscapeRingControl::ride(Network& net, RouterId at,
-                                    Packet& pkt) const {
+RouteChoice EscapeRingControl::ride(Network& net, RouterId at, Packet& pkt,
+                                    RouteProvenance* prov) const {
   const Dragonfly& topo = net.topo();
   const Router& r = net.router(at);
 
   if (at == pkt.dst_router) {
     // Delivery from the ring: request the ejection port.
     const PortId eject = topo.node_port(topo.node_slot(pkt.dst));
+    if (prov) {
+      prov->min_port = eject;
+      prov->q_min = static_cast<float>(net.base_occupancy(r, eject));
+    }
     if (net.base_available(r, eject)) {
       VcId vc;
       net.best_base_vc(r, eject, vc);
       RouteChoice c = RouteChoice::to(eject, vc);
       c.exit_ring = true;
+      if (prov) {
+        prov->condition = RouteCondition::kRingExit;
+        prov->chosen_occ = prov->q_min;
+      }
       return c;
     }
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
     return RouteChoice::none();  // wait for the ejection port
   }
 
@@ -37,23 +46,39 @@ RouteChoice EscapeRingControl::ride(Network& net, RouterId at,
   // livelock budget allows another exit.
   if (pkt.ring_exits < max_exits_) {
     const PortId min_port = min_port_to_router(net, at, pkt.dst_router);
+    if (prov) {
+      prov->min_port = min_port;
+      prov->q_min = static_cast<float>(net.base_occupancy(r, min_port));
+    }
     if (net.base_available(r, min_port)) {
       VcId vc;
       net.best_base_vc(r, min_port, vc);
       RouteChoice c = RouteChoice::to(min_port, vc);
       c.exit_ring = true;
+      if (prov) {
+        prov->condition = RouteCondition::kRingExit;
+        prov->chosen_occ = prov->q_min;
+      }
       return c;
     }
   }
   // Otherwise keep riding: in-ring movement needs one packet of space.
-  return ring_step(net, at, packet_size_);
+  RouteChoice c = ring_step(net, at, packet_size_);
+  if (prov)
+    prov->condition =
+        c.valid ? RouteCondition::kRingRide : RouteCondition::kWaitBusy;
+  return c;
 }
 
-RouteChoice EscapeRingControl::enter(Network& net, RouterId at) const {
+RouteChoice EscapeRingControl::enter(Network& net, RouterId at,
+                                     RouteProvenance* prov) const {
   // Bubble condition: the next ring buffer must fit this packet PLUS one
   // more (the bubble), so the ring can always drain.
   RouteChoice c = ring_step(net, at, 2 * packet_size_);
   if (c.valid) c.enter_ring = true;
+  if (prov)
+    prov->condition =
+        c.valid ? RouteCondition::kRingEnter : RouteCondition::kWaitStarved;
   return c;
 }
 

@@ -28,12 +28,16 @@ class EscapeRingControl {
   /// Choice for a head packet that is currently riding the ring at router
   /// `at`: eject at the destination router, exit to the minimal path when
   /// free and exits remain, otherwise continue along the ring (bubble
-  /// permitting) or wait.
-  RouteChoice ride(Network& net, RouterId at, Packet& pkt) const;
+  /// permitting) or wait. `prov`, when non-null, records which ring rule
+  /// fired (kRingExit / kRingRide / kWaitBusy).
+  RouteChoice ride(Network& net, RouterId at, Packet& pkt,
+                   RouteProvenance* prov = nullptr) const;
 
   /// Ring-entry choice for a canonical packet at router `at`; invalid when
-  /// the bubble condition fails or the ring output is busy.
-  RouteChoice enter(Network& net, RouterId at) const;
+  /// the bubble condition fails or the ring output is busy. `prov` records
+  /// kRingEnter on success, kWaitStarved when the bubble denies entry.
+  RouteChoice enter(Network& net, RouterId at,
+                    RouteProvenance* prov = nullptr) const;
 
  private:
   /// Ring-output request with `need` phits of escape-VC credit.

@@ -6,26 +6,69 @@
 #include "common/parallel.hpp"
 #include "sim/network.hpp"
 #include "stats/sink.hpp"
+#include "trace/trace.hpp"
 #include "traffic/generator.hpp"
 
 namespace ofar {
+
+namespace {
+
+std::string compose_label(const std::string& base,
+                          const std::string& suffix) {
+  if (base.empty()) return suffix;
+  if (suffix.empty()) return base;
+  return base + "|" + suffix;
+}
+
+/// "traces/t.json" + "adv|OFAR|load=0.4", seed 7 ->
+/// "traces/t.adv_OFAR_load_0.4-s7.json": a filesystem-safe per-run name so
+/// sweep points sharing one params object write distinct files.
+std::string per_point_path(const std::string& path, const std::string& label,
+                           u64 seed) {
+  if (path.empty()) return path;
+  std::string tag;
+  for (const char c : label) {
+    const bool keep = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                      (c >= 'A' && c <= 'Z') || c == '.' || c == '-';
+    tag += keep ? c : '_';
+  }
+  if (!tag.empty()) tag += '-';
+  tag += 's' + std::to_string(seed);
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + "." + tag;
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+}  // namespace
 
 void ExperimentCommon::arm(Network& net, const std::string& label_suffix)
     const {
   net.set_sim_threads(sim_threads);
   if (audit_interval > 0) net.enable_audit(audit_interval);
+  const std::string label = compose_label(metrics_label, label_suffix);
+  if (!trace_out.empty() || !trace_links.empty()) {
+    trace::TracerConfig tc;
+    tc.out_path = trace_per_point
+                      ? per_point_path(trace_out, label, net.config().seed)
+                      : trace_out;
+    tc.links_path = trace_per_point
+                        ? per_point_path(trace_links, label,
+                                         net.config().seed)
+                        : trace_links;
+    tc.sample = trace_sample;
+    tc.link_bucket = trace_link_bucket;
+    tc.flight_depth = trace_flight_depth;
+    tc.label = label;
+    net.enable_tracing(tc);
+  }
   if (metrics_sink == nullptr) return;
   TelemetryConfig tc;
   tc.sink = metrics_sink;
   tc.interval = metrics_interval;
   tc.full_dump = metrics_full;
-  if (metrics_label.empty()) {
-    tc.label = label_suffix;
-  } else if (label_suffix.empty()) {
-    tc.label = metrics_label;
-  } else {
-    tc.label = metrics_label + "|" + label_suffix;
-  }
+  tc.label = label;
   net.enable_telemetry(tc);
 }
 

@@ -44,15 +44,33 @@ struct ExperimentCommon {
   std::string metrics_label;
   bool metrics_full = false;
 
+  // ---- optional packet tracing (trace/tracer.hpp, DESIGN.md §11); active
+  // when trace_out or trace_links is non-empty. Like telemetry it is
+  // read-only, deterministic instrumentation: per-seed results are
+  // bit-identical with tracing on or off, so none of these knobs belong in
+  // a cached point key.
+  std::string trace_out;    ///< Chrome trace-event JSON (chrome://tracing)
+  std::string trace_links;  ///< per-link util/stall series, .csv or JSONL
+  u32 trace_sample = 64;    ///< trace 1-in-N packets by hash(seq); <=1: all
+  Cycle trace_link_bucket = 256;  ///< link-series bucket width, cycles
+  u32 trace_flight_depth = 64;    ///< flight-recorder events/router; 0: off
+
+  /// Rewrite trace paths per run ("t.json" -> "t.<label>-s<seed>.json") so
+  /// the parallel points of a sweep sharing one params object do not
+  /// overwrite each other's files. Leave false for single runs where the
+  /// exact output name matters.
+  bool trace_per_point = false;
+
   /// Worker threads for the sharded cycle kernel (Network::set_sim_threads).
   /// Execution-only: any value produces the same per-seed results for a
   /// given SimConfig::sim_shards, so it is NOT part of the cached point
   /// key. 0 means 1 (sequential). Ignored when sim_shards == 1.
   unsigned sim_threads = 1;
 
-  /// Wires auditing and telemetry into a freshly built network. The
-  /// telemetry record label is "<metrics_label>|<label_suffix>" (either
-  /// part optional). Called by every run_* driver before the first cycle.
+  /// Wires auditing, tracing and telemetry into a freshly built network.
+  /// The telemetry record label and trace label are
+  /// "<metrics_label>|<label_suffix>" (either part optional). Called by
+  /// every run_* driver before the first cycle.
   void arm(Network& net, const std::string& label_suffix = "") const;
 };
 

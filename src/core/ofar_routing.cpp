@@ -57,7 +57,8 @@ void OfarPolicy::collect_global(Network& net, RouterId at, PortId min_port,
 }
 
 RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
-                              VcId in_vc, Packet& pkt, u32 lane) {
+                              VcId in_vc, Packet& pkt, u32 lane,
+                              RouteProvenance* prov) {
   const Dragonfly& topo = net.topo();
   const Router& r = net.router(at);
   const GroupId here = topo.group_of(at);
@@ -71,24 +72,36 @@ RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
   // Packets riding the escape ring follow the ring discipline.
   if (net.is_ring_input(at, in_port, in_vc)) {
     OFAR_DCHECK(pkt.in_ring);
-    return ring_.ride(net, at, pkt);
+    return ring_.ride(net, at, pkt, prov);
   }
 
   const bool at_dst = at == pkt.dst_router;
   const PortId min_port = at_dst
                               ? topo.node_port(topo.node_slot(pkt.dst))
                               : min_port_to_router(net, at, pkt.dst_router);
+  if (prov) {
+    prov->min_port = min_port;
+    prov->q_min = static_cast<float>(net.base_occupancy(r, min_port));
+    prov->threshold = static_cast<float>(thresholds_.th_min);
+  }
 
   // 1. Minimal output, whenever it can take the whole packet right now.
   if (net.base_available(r, min_port)) {
     VcId vc;
     net.best_base_vc(r, min_port, vc);
+    if (prov) {
+      prov->condition = RouteCondition::kMinimal;
+      prov->chosen_occ = prov->q_min;
+    }
     return RouteChoice::to(min_port, vc);
   }
 
   // At the destination router the only sensible move is to wait for the
   // ejection port; misrouting or escaping would only lengthen the path.
-  if (at_dst) return RouteChoice::none();
+  if (at_dst) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
 
   // 2. Non-minimal candidates, gated by the thresholds (paper §IV-B).
   const double q_min = net.base_occupancy(r, min_port);
@@ -140,8 +153,17 @@ RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
       c.misroute = topo.port_class(pick) == PortClass::kLocal
                        ? MisrouteKind::kLocal
                        : MisrouteKind::kGlobal;
+      if (prov) {
+        prov->threshold = static_cast<float>(th);
+        prov->chosen_occ = static_cast<float>(net.base_occupancy(r, pick));
+        prov->set_candidates(scratch);
+        prov->condition = c.misroute == MisrouteKind::kLocal
+                              ? RouteCondition::kMisrouteLocal
+                              : RouteCondition::kMisrouteGlobal;
+      }
       return c;
     }
+    if (prov) prov->threshold = static_cast<float>(th);
   }
 
   // 3. Last resort: the deadlock-free escape ring (bubble restricted).
@@ -155,8 +177,11 @@ RouteChoice OfarPolicy::route(Network& net, RouterId at, PortId in_port,
   const bool starved =
       !r.outputs[min_port].best_vc(first, count,
                                    net.config().packet_size, unused);
-  if (!starved) return RouteChoice::none();
-  return ring_.enter(net, at);
+  if (!starved) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
+  return ring_.enter(net, at, prov);
 }
 
 }  // namespace ofar

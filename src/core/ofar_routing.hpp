@@ -41,7 +41,8 @@ class OfarPolicy final : public RoutingPolicy {
   }
 
   RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane) override;
+                    Packet& pkt, u32 lane,
+                    RouteProvenance* prov = nullptr) override;
   void bind_lanes(u32 lanes) override;
 
  private:

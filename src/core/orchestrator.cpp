@@ -352,38 +352,37 @@ RunReport run_points(const std::vector<RunPoint>& points,
       // shared sink's records stay distinguishable across the whole sweep.
       const std::string label =
           p.case_name.empty() ? p.mechanism : p.case_name + "|" + p.mechanism;
+      const auto arm_common = [&](ExperimentCommon& c) {
+        c.audit_interval = opts.audit_interval;
+        c.metrics_sink = opts.metrics_sink;
+        c.metrics_interval = opts.metrics_interval;
+        c.metrics_full = opts.metrics_full;
+        c.metrics_label = label;
+        c.sim_threads = inner;
+        c.trace_out = opts.trace_out;
+        c.trace_links = opts.trace_links;
+        c.trace_sample = opts.trace_sample;
+        c.trace_link_bucket = opts.trace_link_bucket;
+        c.trace_flight_depth = opts.trace_flight_depth;
+        c.trace_per_point = todo.size() > 1;
+      };
       switch (p.kind) {
         case RunKind::kSteady: {
           RunParams run = p.run;
-          run.audit_interval = opts.audit_interval;
-          run.metrics_sink = opts.metrics_sink;
-          run.metrics_interval = opts.metrics_interval;
-          run.metrics_full = opts.metrics_full;
-          run.metrics_label = label;
-          run.sim_threads = inner;
+          arm_common(run);
           o.steady = run_steady(p.cfg, p.pattern, p.load, run);
           break;
         }
         case RunKind::kTransient: {
           TransientParams tp = p.transient;
-          tp.audit_interval = opts.audit_interval;
-          tp.metrics_sink = opts.metrics_sink;
-          tp.metrics_interval = opts.metrics_interval;
-          tp.metrics_full = opts.metrics_full;
-          tp.metrics_label = label;
-          tp.sim_threads = inner;
+          arm_common(tp);
           o.transient = run_transient(p.cfg, p.pattern, p.load, p.pattern_b,
                                       p.load_b, tp);
           break;
         }
         case RunKind::kBurst: {
           BurstParams bp = p.burst;
-          bp.audit_interval = opts.audit_interval;
-          bp.metrics_sink = opts.metrics_sink;
-          bp.metrics_interval = opts.metrics_interval;
-          bp.metrics_full = opts.metrics_full;
-          bp.metrics_label = label;
-          bp.sim_threads = inner;
+          arm_common(bp);
           o.burst = run_burst(p.cfg, p.pattern, bp);
           break;
         }

@@ -55,6 +55,18 @@ struct OrchestratorOptions {
   Cycle metrics_interval = 1'000;
   bool metrics_full = false;
 
+  // Packet tracing for executed points (ExperimentCommon trace_* knobs;
+  // result- and cache-key-invariant like the rest of the block above).
+  // When the run executes more than one point, output paths get a
+  // per-point "<case>|<mechanism>|..." + seed tag so parallel points never
+  // overwrite each other; a single executed point writes the paths
+  // verbatim.
+  std::string trace_out;          ///< Chrome trace-event JSON path
+  std::string trace_links;        ///< per-link util/stall series path
+  u32 trace_sample = 64;          ///< trace 1-in-N packets; <=1 traces all
+  Cycle trace_link_bucket = 256;  ///< link-series bucket width, cycles
+  u32 trace_flight_depth = 64;    ///< flight-recorder events/router
+
   /// Cooperative stop (e.g. SIGINT): checked before each point starts;
   /// in-flight points finish and journal, the rest stay missing.
   const std::atomic<bool>* stop_flag = nullptr;

@@ -5,16 +5,29 @@
 namespace ofar {
 
 RouteChoice MinimalPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/) {
+                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/,
+                                 RouteProvenance* prov) {
   const Dragonfly& topo = net.topo();
   const PortId out = at == pkt.dst_router
                          ? topo.node_port(topo.node_slot(pkt.dst))
                          : min_port_to_router(net, at, pkt.dst_router);
   const Router& r = net.router(at);
   const OutputPort& port = r.outputs[out];
-  if (!port.wired() || port.busy()) return RouteChoice::none();
+  if (prov) {
+    prov->min_port = out;
+    prov->q_min = static_cast<float>(net.base_occupancy(r, out));
+    prov->chosen_occ = prov->q_min;
+  }
+  if (!port.wired() || port.busy()) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
   const VcId vc = ordered_vc(net, at, out, pkt);
-  if (port.credits[vc] < net.config().packet_size) return RouteChoice::none();
+  if (port.credits[vc] < net.config().packet_size) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
+  if (prov) prov->condition = RouteCondition::kMinimal;
   return RouteChoice::to(out, vc);
 }
 

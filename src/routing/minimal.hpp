@@ -15,7 +15,8 @@ class MinimalPolicy final : public RoutingPolicy {
   const char* name() const noexcept override { return "MIN"; }
 
   RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane) override;
+                    Packet& pkt, u32 lane,
+                    RouteProvenance* prov = nullptr) override;
 };
 
 }  // namespace ofar

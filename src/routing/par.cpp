@@ -36,7 +36,8 @@ void ParPolicy::on_inject(Network&, Packet& pkt, RouterId) {
 }
 
 RouteChoice ParPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                             VcId /*in_vc*/, Packet& pkt, u32 lane) {
+                             VcId /*in_vc*/, Packet& pkt, u32 lane,
+                             RouteProvenance* prov) {
   const Dragonfly& topo = net.topo();
 
   // Progressive re-evaluation: still in the source group, no global hop
@@ -60,9 +61,23 @@ RouteChoice ParPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
   const PortId out = valiant_next_port(net, at, pkt);
   const Router& r = net.router(at);
   const OutputPort& port = r.outputs[out];
-  if (!port.wired() || port.busy()) return RouteChoice::none();
+  if (prov) {
+    prov->min_port = out;
+    prov->q_min = static_cast<float>(net.base_occupancy(r, out));
+    prov->chosen_occ = prov->q_min;
+  }
+  if (!port.wired() || port.busy()) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
   const VcId vc = par_vc(net, out, pkt);
-  if (port.credits[vc] < net.config().packet_size) return RouteChoice::none();
+  if (port.credits[vc] < net.config().packet_size) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
+  if (prov)
+    prov->condition = pkt.valiant_done ? RouteCondition::kMinimal
+                                       : RouteCondition::kValiantPhase;
   return RouteChoice::to(out, vc);
 }
 

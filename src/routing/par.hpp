@@ -25,7 +25,8 @@ class ParPolicy final : public ValiantPolicy {
 
   void on_inject(Network& net, Packet& pkt, RouterId at) override;
   RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane) override;
+                    Packet& pkt, u32 lane,
+                    RouteProvenance* prov = nullptr) override;
 
  private:
   i32 bias_;

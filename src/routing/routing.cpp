@@ -11,6 +11,22 @@
 
 namespace ofar {
 
+const char* to_string(RouteCondition c) noexcept {
+  switch (c) {
+    case RouteCondition::kNone: return "none";
+    case RouteCondition::kMinimal: return "minimal";
+    case RouteCondition::kValiantPhase: return "valiant_phase";
+    case RouteCondition::kMisrouteLocal: return "misroute_local";
+    case RouteCondition::kMisrouteGlobal: return "misroute_global";
+    case RouteCondition::kRingEnter: return "ring_enter";
+    case RouteCondition::kRingRide: return "ring_ride";
+    case RouteCondition::kRingExit: return "ring_exit";
+    case RouteCondition::kWaitBusy: return "wait_busy";
+    case RouteCondition::kWaitStarved: return "wait_starved";
+  }
+  return "unknown";
+}
+
 void RoutingPolicy::on_inject(Network&, Packet&, RouterId) {}
 void RoutingPolicy::bind_lanes(u32) {}
 void RoutingPolicy::tick(Network&) {}

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/types.hpp"
@@ -21,6 +22,52 @@ namespace ofar {
 class Network;
 
 enum class MisrouteKind : u8 { kNone, kLocal, kGlobal };
+
+/// Which rule of the mechanism produced (or blocked) a routing decision.
+/// Recorded into RouteProvenance when the caller asks for it (packet
+/// tracing, src/trace) — the enum is the "why" behind every hop.
+enum class RouteCondition : u8 {
+  kNone,           ///< no decision recorded
+  kMinimal,        ///< minimal output had room and was requested
+  kValiantPhase,   ///< minimal hop toward the Valiant intermediate
+  kMisrouteLocal,  ///< OFAR: Q_min >= Th_min, local candidate chosen
+  kMisrouteGlobal, ///< OFAR: Q_min >= Th_min, global candidate chosen
+  kRingEnter,      ///< escape-ring entry (bubble condition satisfied)
+  kRingRide,       ///< in-ring forward step along the ring
+  kRingExit,       ///< left the ring (minimal output free, or ejection)
+  kWaitBusy,       ///< wanted output busy or short of credits; waiting
+  kWaitStarved,    ///< minimal starved and the ring unavailable; waiting
+};
+
+const char* to_string(RouteCondition c) noexcept;
+
+/// Decision provenance: the congestion evidence a routing decision was
+/// taken on, captured at decision time. route() fills it only when the
+/// caller passes a non-null out-param (a traced packet), so the plain
+/// hot path never pays for it. All occupancies are fractions in [0, 1].
+struct RouteProvenance {
+  static constexpr u32 kMaxCandidates = 8;
+
+  RouteCondition condition = RouteCondition::kNone;
+  u8 num_candidates = 0;       ///< eligible non-minimal candidates found
+  PortId min_port = kInvalidPort;  ///< recomputed minimal output this hop
+  float q_min = 0.0f;          ///< occupancy of the minimal output
+  float threshold = 0.0f;      ///< non-minimal admission threshold in force
+  float chosen_occ = 0.0f;     ///< occupancy of the chosen output
+  /// First kMaxCandidates eligible candidate ports (the set the random
+  /// pick drew from); num_candidates may exceed the stored prefix.
+  PortId candidates[kMaxCandidates] = {
+      kInvalidPort, kInvalidPort, kInvalidPort, kInvalidPort,
+      kInvalidPort, kInvalidPort, kInvalidPort, kInvalidPort};
+
+  void set_candidates(const std::vector<PortId>& ports) {
+    num_candidates = static_cast<u8>(
+        ports.size() < 255 ? ports.size() : 255);
+    const u32 n = num_candidates < kMaxCandidates ? num_candidates
+                                                  : kMaxCandidates;
+    for (u32 i = 0; i < n; ++i) candidates[i] = ports[i];
+  }
+};
 
 struct RouteChoice {
   PortId out_port = kInvalidPort;
@@ -60,8 +107,13 @@ class RoutingPolicy {
   /// must draw from a per-lane RNG so concurrent shards never share a
   /// stream; lane 0 is always the legacy sequential stream. Policies must
   /// not mutate any other shared state from route().
+  ///
+  /// `prov`, when non-null, asks the policy to record the evidence behind
+  /// the decision (packet tracing); filling it must not change the
+  /// decision or consume extra RNG draws.
   virtual RouteChoice route(Network& net, RouterId at, PortId in_port,
-                            VcId in_vc, Packet& pkt, u32 lane) = 0;
+                            VcId in_vc, Packet& pkt, u32 lane,
+                            RouteProvenance* prov = nullptr) = 0;
 
   /// Announces the number of route() lanes the kernel will use (the shard
   /// count). Called once at Network construction, before any traffic.

@@ -58,13 +58,28 @@ void ValiantPolicy::on_inject(Network& net, Packet& pkt, RouterId at) {
 }
 
 RouteChoice ValiantPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/) {
+                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/,
+                                 RouteProvenance* prov) {
   const PortId out = valiant_next_port(net, at, pkt);
   const Router& r = net.router(at);
   const OutputPort& port = r.outputs[out];
-  if (!port.wired() || port.busy()) return RouteChoice::none();
+  if (prov) {
+    prov->min_port = out;
+    prov->q_min = static_cast<float>(net.base_occupancy(r, out));
+    prov->chosen_occ = prov->q_min;
+  }
+  const RouteCondition go = pkt.valiant_done ? RouteCondition::kMinimal
+                                             : RouteCondition::kValiantPhase;
+  if (!port.wired() || port.busy()) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
   const VcId vc = ordered_vc(net, at, out, pkt);
-  if (port.credits[vc] < net.config().packet_size) return RouteChoice::none();
+  if (port.credits[vc] < net.config().packet_size) {
+    if (prov) prov->condition = RouteCondition::kWaitBusy;
+    return RouteChoice::none();
+  }
+  if (prov) prov->condition = go;
   return RouteChoice::to(out, vc);
 }
 

@@ -23,7 +23,8 @@ class ValiantPolicy : public RoutingPolicy {
 
   void on_inject(Network& net, Packet& pkt, RouterId at) override;
   RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane) override;
+                    Packet& pkt, u32 lane,
+                    RouteProvenance* prov = nullptr) override;
   void bind_lanes(u32 lanes) override;
 
  protected:

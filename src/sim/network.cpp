@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "trace/trace.hpp"
+#include "trace/tracer.hpp"
 
 namespace ofar {
+
+const char* to_string(TraceEvent::Kind k) noexcept {
+  switch (k) {
+    case TraceEvent::Kind::kInject: return "inject";
+    case TraceEvent::Kind::kGrant: return "grant";
+    case TraceEvent::Kind::kRingEnter: return "ring_enter";
+    case TraceEvent::Kind::kRingExit: return "ring_exit";
+    case TraceEvent::Kind::kDeliver: return "deliver";
+  }
+  return "unknown";
+}
 
 namespace {
 constexpr u32 kEjectionLatency = 1;
@@ -139,6 +152,8 @@ Network::Network(const SimConfig& cfg)
   for (auto& slot : phit_wheel_) slot.reserve(kWheelSlotReserve);
   for (auto& slot : credit_wheel_) slot.reserve(kWheelSlotReserve);
 }
+
+Network::~Network() = default;
 
 u32 Network::num_shards() const noexcept {
   return static_cast<u32>(shards_.size());
@@ -388,6 +403,10 @@ void Network::place_packet(NodeId src, const Offer& offer) {
   pkt.birth = offer.birth;
   pkt.last_progress = now_;
   pkt.flag_group = topo_.group_of(r.id);
+  // Injection is always a serial phase, so the sequence number is identical
+  // at any sim_threads — the basis of deterministic trace sampling.
+  pkt.seq = injected_total_;
+  pkt.traced = tracer_ && trace::should_sample(pkt.seq, trace_sample_);
 
   policy_->on_inject(*this, pkt, r.id);
 
@@ -400,7 +419,7 @@ void Network::place_packet(NodeId src, const Offer& offer) {
   mark_router_active(r.id);
   ++injected_total_;
   stats_.on_injected();
-  if (tracer_) {
+  if (pkt.traced) {
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::kInject;
     ev.packet = id;
@@ -408,7 +427,8 @@ void Network::place_packet(NodeId src, const Offer& offer) {
     ev.router = r.id;
     ev.src = src;
     ev.dst = offer.dst;
-    tracer_(ev);
+    ev.seq = pkt.seq;
+    tracer_(ev);  // serial injection phase  // lint: allow(trace-emit)
   }
 }
 
@@ -470,15 +490,26 @@ void Network::deliver_packet(PacketId id) {
   ++delivered_total_;
   stats_.on_delivered(pkt.pattern_tag, pkt.size, now_ - pkt.birth, pkt.birth,
                       pkt.total_hops);
-  if (tracer_) {
+  if (tracer_ && pkt.traced) {
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::kDeliver;
     ev.packet = id;
     ev.cycle = now_;
     ev.router = pkt.dst_router;
+    // Delivery happens over the ejection port; fill the kGrant-shaped
+    // fields explicitly instead of leaving stale defaults (see the field
+    // validity table in network.hpp).
+    ev.out_port = topo_.node_port(topo_.node_slot(pkt.dst));
+    ev.out_vc = 0;
+    ev.misroute = MisrouteKind::kNone;
+    ev.ring_move = false;
     ev.src = pkt.src;
     ev.dst = pkt.dst;
-    tracer_(ev);
+    ev.seq = pkt.seq;
+    // Serial phase: sequential kernel delivers in wheel-slot order, the
+    // sharded kernel in shard-ascending order (commit_shard_deliveries),
+    // which is the same order.
+    tracer_(ev);  // lint: allow(trace-emit)
   }
   pool_.destroy(id);
 }
@@ -593,6 +624,7 @@ void Network::do_allocation(ShardState& sh, u32 lane) {
     // saves the scan for the packet_size cycles each grant streams.
     if (r.routable_heads == 0) continue;
     sh.reqs.clear();
+    sh.provs.clear();
     for (PortId port = 0; port < r.inputs.size(); ++port) {
       u8 mask = r.input_mask[port];
       if (mask == 0) continue;
@@ -602,8 +634,13 @@ void Network::do_allocation(ShardState& sh, u32 lane) {
         mask &= static_cast<u8>(mask - 1);
         if (!in.has_head(vc)) continue;
         Packet& pkt = pool_.get(in.vcs[vc].head());
-        const RouteChoice choice =
-            policy_->route(*this, r.id, port, vc, pkt, lane);
+        // Provenance is only materialised for traced heads (sparse side
+        // buffer), so the untraced hot path passes nullptr and pays
+        // nothing beyond this test.
+        RouteProvenance prov;
+        const bool want_prov = pkt.traced && tracer_;
+        const RouteChoice choice = policy_->route(
+            *this, r.id, port, vc, pkt, lane, want_prov ? &prov : nullptr);
         if (!choice.valid) {
           // No grantable output this cycle (busy or out of credits).
           if (telem_) telem_->note_credit_stall(r.id, port, vc);
@@ -612,14 +649,22 @@ void Network::do_allocation(ShardState& sh, u32 lane) {
         OFAR_DCHECK(!r.outputs[choice.out_port].busy());
         OFAR_DCHECK(r.outputs[choice.out_port].credits[choice.out_vc] >=
                     cfg_.packet_size);
+        if (want_prov)
+          sh.provs.emplace_back(static_cast<u32>(sh.reqs.size()), prov);
         sh.reqs.push_back({port, vc, in.vcs[vc].head(), choice, false});
       }
     }
     if (sh.reqs.empty()) continue;
     sh.alloc->run(r, sh.reqs, cfg_.allocator_iterations, now_);
-    for (const AllocRequest& rq : sh.reqs) {
+    std::size_t pi = 0;  // provs is sorted by request index by construction
+    for (u32 i = 0; i < sh.reqs.size(); ++i) {
+      const AllocRequest& rq = sh.reqs[i];
+      const RouteProvenance* prov = nullptr;
+      while (pi < sh.provs.size() && sh.provs[pi].first < i) ++pi;
+      if (pi < sh.provs.size() && sh.provs[pi].first == i)
+        prov = &sh.provs[pi].second;
       if (rq.granted) {
-        commit_grant<kStaged>(sh, r, rq);
+        commit_grant<kStaged>(sh, r, rq, prov);
       } else if (telem_) {
         telem_->note_alloc_stall(r.id, rq.in_port, rq.in_vc);
       }
@@ -628,11 +673,15 @@ void Network::do_allocation(ShardState& sh, u32 lane) {
 }
 
 template <bool kStaged>
-void Network::commit_grant(ShardState& sh, Router& r, const AllocRequest& rq) {
+void Network::commit_grant(ShardState& sh, Router& r, const AllocRequest& rq,
+                           const RouteProvenance* prov) {
   OutputPort& out = r.outputs[rq.choice.out_port];
   Packet& pkt = pool_.get(rq.packet);
   OFAR_DCHECK(!out.busy());
   OFAR_DCHECK(out.credits[rq.choice.out_vc] >= pkt.size);
+
+  // Queueing delay of this hop, captured before last_progress is updated.
+  const Cycle queue_wait = now_ - pkt.last_progress;
 
   out.credits[rq.choice.out_vc] -= pkt.size;
   out.active = rq.packet;
@@ -690,7 +739,7 @@ void Network::commit_grant(ShardState& sh, Router& r, const AllocRequest& rq) {
     case MisrouteKind::kNone:
       break;
   }
-  if (tracer_) {
+  if (tracer_ && pkt.traced) {
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::kGrant;
     ev.packet = rq.packet;
@@ -702,10 +751,27 @@ void Network::commit_grant(ShardState& sh, Router& r, const AllocRequest& rq) {
     ev.ring_move = ring_move;
     ev.src = pkt.src;
     ev.dst = pkt.dst;
+    ev.seq = pkt.seq;
+    ev.in_port = rq.in_port;
+    ev.in_vc = rq.in_vc;
+    ev.queue_wait = static_cast<u32>(
+        std::min<Cycle>(queue_wait, ~u32{0}));
+    if (prov != nullptr) ev.prov = *prov;
     if constexpr (kStaged)
       sh.traces.push_back(ev);  // flushed serially, in shard order
     else
-      tracer_(ev);
+      tracer_(ev);  // K = 1: the serial kernel IS the commit order  // lint: allow(trace-emit)
+    // Ring transitions get explicit marker events right after the grant,
+    // so consumers need not re-derive them from the grant flags.
+    if (rq.choice.enter_ring || rq.choice.exit_ring) {
+      ev.kind = rq.choice.enter_ring ? TraceEvent::Kind::kRingEnter
+                                     : TraceEvent::Kind::kRingExit;
+      ev.ring_move = true;
+      if constexpr (kStaged)
+        sh.traces.push_back(ev);
+      else
+        tracer_(ev);  // lint: allow(trace-emit)
+    }
   }
   if (!ring_move) {
     switch (topo_.port_class(rq.choice.out_port)) {
@@ -790,6 +856,7 @@ void Network::run_watchdog() {
   });
   stats_.on_watchdog(stalled, worst);
   if (telem_ && stalled > 0) telem_->on_watchdog_trip(*this, stalled, worst);
+  if (trace_ && stalled > 0) trace_->on_deadlock(now_, stalled, worst);
 }
 
 void Network::step() {
@@ -913,7 +980,9 @@ void Network::commit_shard_deliveries() {
 void Network::commit_shard_staging() {
   for (ShardState& sh : shards_) {
     if (tracer_) {
-      for (const TraceEvent& ev : sh.traces) tracer_(ev);
+      // Shard-ascending flush of per-shard staging: THE reviewed commit
+      // path for grant-phase trace events (trace-emit lint rule).
+      for (const TraceEvent& ev : sh.traces) tracer_(ev);  // lint: allow(trace-emit)
     }
     sh.traces.clear();
     stats_.on_ring_enters(sh.ring_first_entries, sh.ring_reentries);
@@ -987,6 +1056,13 @@ void Network::enable_telemetry(const TelemetryConfig& tcfg) {
   telem_ = std::make_unique<Telemetry>(*this, tcfg);
 }
 
+void Network::enable_tracing(const trace::TracerConfig& tcfg) {
+  set_trace_sampling(tcfg.sample);
+  trace_ = std::make_unique<trace::PacketTracer>(*this, tcfg);
+  trace::PacketTracer* sink = trace_.get();
+  tracer_ = [sink](const TraceEvent& ev) { sink->on_event(ev); };
+}
+
 void Network::enable_audit(Cycle interval) {
   if (interval == 0) {
     audit_.reset();
@@ -1004,6 +1080,9 @@ void Network::run_audit() {
   const verify::AuditReport report = audit_->run_all();
   if (!report.ok()) [[unlikely]] {
     std::fputs(report.to_string().c_str(), stderr);
+    // Post-mortem before the abort: the flight recorder's last-N events per
+    // router are exactly the forensics a violated invariant needs.
+    if (trace_) trace_->on_audit_failure(now_, report.to_json());
     std::abort();
   }
 }

@@ -47,28 +47,63 @@
 
 namespace ofar {
 
-/// Optional per-packet event trace (tests, debugging, path analysis).
+namespace trace {
+class PacketTracer;
+struct TracerConfig;
+}  // namespace trace
+
+/// Optional per-packet event trace (tests, debugging, path analysis; the
+/// full tracing subsystem lives in src/trace — DESIGN.md §11).
+///
+/// Field validity per kind:
+///
+///   field       | kInject | kGrant | kRingEnter/kRingExit | kDeliver
+///   ------------+---------+--------+----------------------+----------
+///   packet,cycle,router,src,dst,seq: valid for every kind
+///   out_port    |    —    | chosen | ring/exit output     | ejection port
+///   out_vc      |    —    | chosen | ring/exit VC         | 0
+///   misroute    |  kNone  | chosen | kNone                | kNone
+///   ring_move   |  false  | set    | true                 | false
+///   in_port     |    —    | input port of the granted head| —
+///   in_vc       |    —    | input VC of the granted head  | —
+///   queue_wait  |    0    | cycles head waited since last progress | 0
+///   prov        | default | routing-decision provenance   | default
+///
+/// ("—" = the field keeps its default). kRingEnter/kRingExit are emitted
+/// immediately after the kGrant that enters/leaves the escape ring and
+/// duplicate that grant's fields, so consumers can treat ring transitions
+/// as markers without re-deriving them from grant flags.
 struct TraceEvent {
   enum class Kind : u8 {
-    kInject,   ///< packet placed into an injection FIFO
-    kGrant,    ///< allocator grant: packet starts crossing to out_port
-    kDeliver,  ///< tail phit reached the destination node
+    kInject,     ///< packet placed into an injection FIFO
+    kGrant,      ///< allocator grant: packet starts crossing to out_port
+    kRingEnter,  ///< the grant entered the escape ring (bubble admitted)
+    kRingExit,   ///< the grant left the escape ring (minimal free/eject)
+    kDeliver,    ///< tail phit reached the destination node
   };
   Kind kind;
   PacketId packet;
   Cycle cycle;
   RouterId router;
-  PortId out_port = kInvalidPort;  ///< kGrant only
-  VcId out_vc = 0;                 ///< kGrant only
-  MisrouteKind misroute = MisrouteKind::kNone;  ///< kGrant only
-  bool ring_move = false;                       ///< kGrant only
+  PortId out_port = kInvalidPort;
+  VcId out_vc = 0;
+  MisrouteKind misroute = MisrouteKind::kNone;
+  bool ring_move = false;
   NodeId src = 0;
   NodeId dst = 0;
+  u64 seq = 0;       ///< packet injection sequence number (Packet::seq)
+  PortId in_port = kInvalidPort;
+  VcId in_vc = 0;
+  u32 queue_wait = 0;
+  RouteProvenance prov;
 };
+
+const char* to_string(TraceEvent::Kind k) noexcept;
 
 class Network {
  public:
   explicit Network(const SimConfig& cfg);
+  ~Network();  // defined in network.cpp (unique_ptr to incomplete PacketTracer)
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -179,9 +214,30 @@ class Network {
 
   /// Installs a per-packet event tracer (empty function disables). The
   /// callback runs synchronously inside the cycle loop; keep it light.
+  /// Only packets selected by the trace sampler emit events; the default
+  /// sampling of 1 (every packet, decided at injection) preserves the
+  /// historical "trace everything" behaviour. In the sharded kernel every
+  /// grant-phase event is staged per shard and flushed in shard-ascending
+  /// order, so the event stream is bit-identical at any sim_threads.
   void set_tracer(std::function<void(const TraceEvent&)> tracer) {
     tracer_ = std::move(tracer);
   }
+
+  /// Trace 1 in `denom` injected packets (deterministic hash of the
+  /// injection sequence number — see trace::should_sample; 0/1 = all).
+  /// Applies to packets injected after the call.
+  void set_trace_sampling(u32 denom) noexcept {
+    trace_sample_ = denom == 0 ? 1 : denom;
+  }
+  u32 trace_sampling() const noexcept { return trace_sample_; }
+
+  /// Enables the full tracing subsystem (src/trace): installs a
+  /// PacketTracer as the tracer callback, applies tcfg.sample, and arms the
+  /// flight recorder (dumped automatically on InvariantAuditor failure or
+  /// deadlock forensics). Replaces any previous tracer. Tracing is
+  /// read-only instrumentation: no simulation outcome or RNG draw changes.
+  void enable_tracing(const trace::TracerConfig& tcfg);
+  trace::PacketTracer* packet_tracer() noexcept { return trace_.get(); }
 
   /// Deep flow-control conservation check: true iff the network is fully
   /// drained AND every FIFO is empty, every credit counter restored to
@@ -262,6 +318,10 @@ class Network {
     std::vector<StagedCredit> credit_out;
     std::vector<PacketId> delivered;  ///< ejected tails, slot-scan order
     std::vector<TraceEvent> traces;
+    /// Routing-decision provenance for traced heads, keyed by the index of
+    /// the matching entry in `reqs` (sparse: only traced packets record).
+    /// Cleared together with `reqs` per router.
+    std::vector<std::pair<u32, RouteProvenance>> provs;
     u64 ring_first_entries = 0;
     u64 ring_reentries = 0;
     u64 ring_exits = 0;
@@ -284,7 +344,8 @@ class Network {
   template <bool kStaged>
   void do_allocation(ShardState& sh, u32 lane);
   template <bool kStaged>
-  void commit_grant(ShardState& sh, Router& r, const AllocRequest& rq);
+  void commit_grant(ShardState& sh, Router& r, const AllocRequest& rq,
+                    const RouteProvenance* prov);
   void do_injection();
   void run_watchdog();
   /// step() with the phase profiler wrapped around each phase; selected by
@@ -393,9 +454,16 @@ class Network {
   Cycle audit_interval_ = 0;
   Cycle next_audit_ = ~Cycle{0};
 
-  // Opt-in telemetry. Declared last: ~Telemetry may stream a run-end
-  // summary that reads the members above, so it must be destroyed first.
+  // Opt-in telemetry. Declared after the members it reads: ~Telemetry may
+  // stream a run-end summary, so it must be destroyed before them.
   std::unique_ptr<Telemetry> telem_;
+
+  // Opt-in tracing subsystem (src/trace). trace_sample_ applies to any
+  // tracer (also ones installed via set_tracer); trace_ owns the
+  // PacketTracer behind enable_tracing, whose destructor flushes the
+  // exporters — declared last so it runs before the members it reads.
+  u32 trace_sample_ = 1;
+  std::unique_ptr<trace::PacketTracer> trace_;
 };
 
 }  // namespace ofar

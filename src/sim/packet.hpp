@@ -25,6 +25,14 @@ struct Packet {
   Cycle birth = 0;       ///< generation cycle (latency baseline, paper §VI-B)
   Cycle last_progress = 0;  ///< last grant cycle (deadlock watchdog)
 
+  // ---- tracing (src/trace; zero-cost unless a tracer is installed) ----
+  /// Injection sequence number: the value of Network::injected_total() when
+  /// the packet was placed. Assigned in the serial injection phase, so it
+  /// is identical at any sim_threads — the basis of deterministic sampling.
+  u64 seq = 0;
+  /// Selected by the hash-based trace sampler (trace_should_sample).
+  bool traced = false;
+
   // ---- hop bookkeeping (drives the ordered-VC discipline) ----
   u8 local_hops = 0;
   u8 global_hops = 0;

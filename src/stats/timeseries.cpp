@@ -1,2 +1,32 @@
-// TimeSeries is header-only; this TU compile-checks the header.
 #include "stats/timeseries.hpp"
+
+#include "stats/sink.hpp"
+
+namespace ofar {
+
+void TimeSeries::dump_csv(std::FILE* f, const std::string& label) const {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    if (b.count == 0) continue;
+    std::fprintf(f, "%s,%llu,%.17g,%llu\n", label.c_str(),
+                 static_cast<unsigned long long>(bucket_mid(i)), b.mean(),
+                 static_cast<unsigned long long>(b.count));
+  }
+}
+
+void TimeSeries::dump_jsonl(std::FILE* f, const std::string& label) const {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    if (b.count == 0) continue;
+    JsonWriter w;
+    w.begin_object();
+    w.key("label").value(label);
+    w.key("cycle").value(static_cast<u64>(bucket_mid(i)));
+    w.key("mean").value(b.mean());
+    w.key("count").value(b.count);
+    w.end_object();
+    std::fprintf(f, "%s\n", w.str().c_str());
+  }
+}
+
+}  // namespace ofar

@@ -4,6 +4,8 @@
 // was *sent* (generated), not the cycle it arrived.
 #pragma once
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
@@ -23,16 +25,23 @@ class TimeSeries {
   }
 
   void record(Cycle at, double value) {
+    Bucket* b = bucket_for(at);
+    if (b == nullptr) return;
+    b->sum += value;
+    ++b->count;
+  }
+
+  /// record() variant that grows the window to cover `at` instead of
+  /// dropping it. Used by sinks whose horizon is unknown up front (the
+  /// per-link trace series); the fixed-window record() stays the transient
+  /// experiments' contract.
+  void record_extending(Cycle at, double value) {
     if (at < start_) return;
     const u64 idx = (at - start_) / bucket_width_;
-    if (idx >= buckets_.size()) return;
-    // GCC 12 emits a spurious -Warray-bounds here when `at` is a constant
-    // beyond the window in test code, despite the guard above.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Warray-bounds"
-    buckets_[idx].sum += value;
-    ++buckets_[idx].count;
-#pragma GCC diagnostic pop
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+    Bucket* b = buckets_.data() + idx;
+    b->sum += value;
+    ++b->count;
   }
 
   struct Bucket {
@@ -49,7 +58,25 @@ class TimeSeries {
   }
   u32 bucket_width() const noexcept { return bucket_width_; }
 
+  /// Appends one CSV row per non-empty bucket: label,cycle,mean,count
+  /// (cycle is the bucket centre). The caller owns the stream and any
+  /// header line.
+  void dump_csv(std::FILE* f, const std::string& label) const;
+  /// Appends one JSONL record per non-empty bucket:
+  /// {"label":...,"cycle":...,"mean":...,"count":...}
+  void dump_jsonl(std::FILE* f, const std::string& label) const;
+
  private:
+  /// Bucket covering cycle `at`, or nullptr when `at` falls outside the
+  /// window. The single guarded pointer computation replaces an operator[]
+  /// that GCC 12 flagged with a spurious -Warray-bounds on constant-folded
+  /// out-of-window cycles in test code.
+  Bucket* bucket_for(Cycle at) noexcept {
+    if (at < start_) return nullptr;
+    const u64 idx = (at - start_) / bucket_width_;
+    return idx < buckets_.size() ? buckets_.data() + idx : nullptr;
+  }
+
   Cycle start_ = 0;
   u32 bucket_width_ = 1;
   std::vector<Bucket> buckets_;

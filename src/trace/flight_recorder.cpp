@@ -1,0 +1,116 @@
+#include "trace/flight_recorder.hpp"
+
+namespace ofar::trace {
+
+void append_event_json(JsonWriter& w, const TraceEvent& ev) {
+  w.begin_object();
+  w.key("kind").value(to_string(ev.kind));
+  w.key("seq").value(ev.seq);
+  w.key("packet").value(static_cast<u64>(ev.packet));
+  w.key("cycle").value(static_cast<u64>(ev.cycle));
+  w.key("router").value(static_cast<u64>(ev.router));
+  w.key("src").value(static_cast<u64>(ev.src));
+  w.key("dst").value(static_cast<u64>(ev.dst));
+  if (ev.kind != TraceEvent::Kind::kInject) {
+    w.key("out_port").value(static_cast<u64>(ev.out_port));
+    w.key("out_vc").value(static_cast<u64>(ev.out_vc));
+  }
+  if (ev.kind == TraceEvent::Kind::kGrant ||
+      ev.kind == TraceEvent::Kind::kRingEnter ||
+      ev.kind == TraceEvent::Kind::kRingExit) {
+    w.key("in_port").value(static_cast<u64>(ev.in_port));
+    w.key("in_vc").value(static_cast<u64>(ev.in_vc));
+    w.key("queue_wait").value(static_cast<u64>(ev.queue_wait));
+    w.key("ring_move").value(ev.ring_move);
+    const char* mis = ev.misroute == MisrouteKind::kLocal    ? "local"
+                      : ev.misroute == MisrouteKind::kGlobal ? "global"
+                                                             : "none";
+    w.key("misroute").value(mis);
+    w.key("condition").value(to_string(ev.prov.condition));
+    w.key("min_port").value(static_cast<u64>(ev.prov.min_port));
+    w.key("q_min").value(static_cast<double>(ev.prov.q_min));
+    w.key("threshold").value(static_cast<double>(ev.prov.threshold));
+    w.key("chosen_occ").value(static_cast<double>(ev.prov.chosen_occ));
+    w.key("candidates").begin_array();
+    const u32 n = ev.prov.num_candidates < RouteProvenance::kMaxCandidates
+                      ? ev.prov.num_candidates
+                      : RouteProvenance::kMaxCandidates;
+    for (u32 i = 0; i < n; ++i)
+      w.value(static_cast<u64>(ev.prov.candidates[i]));
+    w.end_array();
+    w.key("num_candidates").value(
+        static_cast<u64>(ev.prov.num_candidates));
+  }
+  w.end_object();
+}
+
+FlightRecorder::FlightRecorder(u32 routers, u32 depth) : depth_(depth) {
+  rings_.resize(routers);
+  // Storage grows lazily per router: quiet routers cost nothing.
+}
+
+void FlightRecorder::record(const TraceEvent& ev) {
+  if (depth_ == 0 || ev.router >= rings_.size()) return;
+  Ring& ring = rings_[ev.router];
+  ++ring.seen;
+  ++total_;
+  if (ring.events.size() < depth_) {
+    ring.events.push_back(ev);
+    return;
+  }
+  ring.events[ring.next] = ev;
+  ring.next = (ring.next + 1) % depth_;
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot(RouterId r) const {
+  std::vector<TraceEvent> out;
+  if (r >= rings_.size()) return out;
+  const Ring& ring = rings_[r];
+  out.reserve(ring.events.size());
+  // Once the ring wrapped, `next` points at the oldest retained event.
+  const u32 n = static_cast<u32>(ring.events.size());
+  const u32 start = n < depth_ ? 0 : ring.next;
+  for (u32 i = 0; i < n; ++i) out.push_back(ring.events[(start + i) % n]);
+  return out;
+}
+
+bool FlightRecorder::dump_json(const std::string& path,
+                               const std::string& reason, Cycle now,
+                               const std::string& context_json) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  JsonWriter w;
+  w.begin_object();
+  w.key("reason").value(reason);
+  w.key("cycle").value(static_cast<u64>(now));
+  w.key("depth").value(depth_);
+  w.key("total_events").value(total_);
+  w.key("routers").begin_array();
+  for (RouterId r = 0; r < rings_.size(); ++r) {
+    if (rings_[r].events.empty()) continue;
+    w.begin_object();
+    w.key("router").value(static_cast<u64>(r));
+    w.key("seen").value(rings_[r].seen);
+    w.key("events").begin_array();
+    for (const TraceEvent& ev : snapshot(r)) append_event_json(w, ev);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  // Splice the pre-rendered context (audit report / watchdog stats) in as
+  // the last key; JsonWriter has no raw-value path, so close the object
+  // manually.
+  std::string out = w.str();
+  if (!context_json.empty()) {
+    out.pop_back();  // '}'
+    out += ",\"context\":";
+    out += context_json;
+    out += '}';
+  }
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return written == out.size();
+}
+
+}  // namespace ofar::trace

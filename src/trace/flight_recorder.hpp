@@ -1,0 +1,59 @@
+// Bounded per-router flight recorder (DESIGN.md §11).
+//
+// Retains the last `depth` trace events of every router in a fixed ring
+// buffer, so a crash or invariant violation can be reconstructed from the
+// moments leading up to it without paying for an unbounded trace. The
+// recorder is fed from the same deterministic event stream as the
+// exporters (sampled packets only) and is dumped as JSON by the
+// PacketTracer on InvariantAuditor failure or deadlock forensics.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "stats/sink.hpp"
+
+namespace ofar::trace {
+
+class FlightRecorder {
+ public:
+  /// `routers` rings of `depth` events each (depth 0 disables recording).
+  FlightRecorder(u32 routers, u32 depth);
+
+  void record(const TraceEvent& ev);
+
+  u32 depth() const noexcept { return depth_; }
+  u64 total_recorded() const noexcept { return total_; }
+
+  /// Events currently retained for router `r`, oldest first.
+  std::vector<TraceEvent> snapshot(RouterId r) const;
+
+  /// Writes the recorder as one JSON object:
+  ///   {"reason":..., "cycle":..., "depth":..., "total_events":...,
+  ///    "context": <context_json or null>, "routers": [
+  ///      {"router": id, "events":[...]}, ...]}
+  /// Routers with no retained events are omitted. `context_json` must be a
+  /// pre-rendered JSON value (e.g. an AuditReport::to_json string) or "".
+  /// Returns false when the file cannot be created.
+  bool dump_json(const std::string& path, const std::string& reason,
+                 Cycle now, const std::string& context_json) const;
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> events;  ///< ring storage, size <= depth
+    u32 next = 0;                    ///< overwrite position once full
+    u64 seen = 0;                    ///< lifetime events for this router
+  };
+
+  std::vector<Ring> rings_;
+  u32 depth_;
+  u64 total_ = 0;
+};
+
+/// Renders one TraceEvent as a JSON object into `w` (shared by the flight
+/// recorder and the trace summarizer's --check contract).
+void append_event_json(ofar::JsonWriter& w, const TraceEvent& ev);
+
+}  // namespace ofar::trace

@@ -1,0 +1,66 @@
+#include "trace/perfetto.hpp"
+
+#include <cstdio>
+
+#include "stats/sink.hpp"
+
+namespace ofar::trace {
+
+namespace {
+std::string u64s(u64 v) { return std::to_string(v); }
+}  // namespace
+
+void ChromeTraceWriter::process_name(u64 pid, const std::string& name) {
+  events_.push_back("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                    u64s(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+                    json_escape(name) + "\"}}");
+}
+
+void ChromeTraceWriter::thread_name(u64 pid, u64 tid,
+                                    const std::string& name) {
+  events_.push_back("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                    u64s(pid) + ",\"tid\":" + u64s(tid) +
+                    ",\"args\":{\"name\":\"" + json_escape(name) + "\"}}");
+}
+
+void ChromeTraceWriter::complete_event(u64 pid, u64 tid,
+                                       const std::string& name, Cycle ts,
+                                       Cycle dur,
+                                       const std::string& args_json) {
+  std::string ev = "{\"ph\":\"X\",\"cat\":\"pkt\",\"pid\":" + u64s(pid) +
+                   ",\"tid\":" + u64s(tid) + ",\"name\":\"" +
+                   json_escape(name) + "\",\"ts\":" + u64s(ts) +
+                   ",\"dur\":" + u64s(dur);
+  if (!args_json.empty()) ev += ",\"args\":" + args_json;
+  ev += '}';
+  events_.push_back(std::move(ev));
+}
+
+void ChromeTraceWriter::instant_event(u64 pid, u64 tid,
+                                      const std::string& name, Cycle ts,
+                                      const std::string& args_json) {
+  std::string ev = "{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"pkt\",\"pid\":" +
+                   u64s(pid) + ",\"tid\":" + u64s(tid) + ",\"name\":\"" +
+                   json_escape(name) + "\",\"ts\":" + u64s(ts);
+  if (!args_json.empty()) ev += ",\"args\":" + args_json;
+  ev += '}';
+  events_.push_back(std::move(ev));
+}
+
+bool ChromeTraceWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fputs("{\"traceEvents\":[\n", f) >= 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (ok && std::fputs(events_[i].c_str(), f) < 0) ok = false;
+    if (ok && i + 1 < events_.size() && std::fputs(",\n", f) < 0) ok = false;
+  }
+  std::string tail = "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  tail += "\"label\":\"" + json_escape(label_) +
+          "\",\"time_unit\":\"1 us == 1 cycle\"}}\n";
+  if (ok && std::fputs(tail.c_str(), f) < 0) ok = false;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace ofar::trace

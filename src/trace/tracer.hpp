@@ -1,0 +1,91 @@
+// PacketTracer: the tracing subsystem's event consumer (DESIGN.md §11).
+//
+// Installed by Network::enable_tracing as the TraceEvent callback, it
+// assembles the sampled packets' per-hop journeys, feeds the per-link
+// utilisation / credit-stall TimeSeries sink and the bounded flight
+// recorder, and writes the exporters on finish() (or destruction):
+//
+//  - cfg.out_path: Chrome trace-event JSON — one Perfetto process per
+//    packet, one thread per visited router, spans carrying the
+//    routing-decision provenance (perfetto.hpp);
+//  - cfg.links_path: per-link TimeSeries (utilisation in phits/bucket and
+//    mean queue-wait), CSV or JSONL by extension;
+//  - on_audit_failure / on_deadlock: flight-recorder JSON post-mortems.
+//
+// The tracer is strictly read-only instrumentation fed by a
+// deterministically ordered event stream (shard-staged commits), so its
+// outputs are bit-identical at any sim_threads.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/trace.hpp"
+
+namespace ofar::trace {
+
+class PacketTracer {
+ public:
+  PacketTracer(const Network& net, TracerConfig cfg);
+  ~PacketTracer();  // finish() safety net
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
+  void on_event(const TraceEvent& ev);
+
+  /// Writes the configured exporters once (idempotent; also run by the
+  /// destructor). Safe to call mid-run for a snapshot of completed work.
+  void finish();
+
+  /// Flight-recorder post-mortems. `context_json` is embedded verbatim.
+  void on_audit_failure(Cycle now, const std::string& report_json);
+  /// Rate-limited (at most 3 dumps per run) deadlock forensics hook.
+  void on_deadlock(Cycle now, u64 stalled, u64 worst_wait);
+
+  const TracerConfig& config() const noexcept { return cfg_; }
+  u64 events_seen() const noexcept { return events_; }
+  u64 journeys_completed() const noexcept { return completed_; }
+  u64 journeys_open() const noexcept { return open_.size(); }
+  const FlightRecorder* recorder() const noexcept { return recorder_.get(); }
+
+ private:
+  /// One sampled packet's event sequence, inject -> deliver.
+  struct Journey {
+    u64 seq = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Cycle inject = 0;
+    bool delivered = false;
+    Cycle deliver_cycle = 0;
+    std::vector<TraceEvent> hops;  ///< kGrant/kRing*/kDeliver, in order
+  };
+
+  /// Per-link series, fed by sampled grants. Utilisation is therefore an
+  /// estimator: multiply by the sampling denominator for absolute phits.
+  struct LinkSeries {
+    TimeSeries util;   ///< phits entering the link per bucket (sum)
+    TimeSeries stall;  ///< mean queue-wait of grants onto the link
+  };
+
+  void export_journeys() const;
+  void export_links() const;
+  std::string flight_dump_path(const char* suffix) const;
+
+  const Network& net_;
+  TracerConfig cfg_;
+  u64 events_ = 0;
+  u64 completed_ = 0;
+  std::map<u64, Journey> open_;   ///< seq -> in-flight journey (ordered)
+  std::vector<Journey> done_;     ///< completed journeys, delivery order
+  std::map<ChannelId, LinkSeries> links_;  ///< ordered by channel id
+  std::unique_ptr<FlightRecorder> recorder_;
+  u32 forensic_dumps_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ofar::trace

@@ -1,0 +1,493 @@
+// Tracing subsystem tests (src/trace, DESIGN.md §11):
+//  - deterministic sampling: hash-based, pure in (seq, denominator);
+//  - trace-stream determinism: the full serialized event stream (provenance
+//    included) is bit-identical across sim_threads on the sharded kernel,
+//    physical and embedded rings;
+//  - routing-decision provenance: on a crafted congested router the
+//    recorded OFAR condition matches the misroute kind the policy chose;
+//  - flight recorder: bounded depth, oldest-first snapshots, JSON dumps;
+//  - PacketTracer end to end: Perfetto JSON + link series files written,
+//    journeys assembled, instrumentation invisible to orchestrator results;
+//  - TimeSeries growth (record_extending) and CSV/JSONL dumps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/orchestrator.hpp"
+#include "core/spec.hpp"
+#include "sim/network.hpp"
+#include "stats/sink.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/trace.hpp"
+#include "trace/tracer.hpp"
+#include "traffic/generator.hpp"
+
+namespace ofar {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---- deterministic sampling ----
+
+TEST(TraceSampling, DenominatorOneSamplesEverything) {
+  for (u64 seq = 0; seq < 1000; ++seq) {
+    EXPECT_TRUE(trace::should_sample(seq, 0));
+    EXPECT_TRUE(trace::should_sample(seq, 1));
+  }
+}
+
+TEST(TraceSampling, IsPureAndRoughlyUniform) {
+  u64 hits = 0;
+  for (u64 seq = 0; seq < 64000; ++seq) {
+    const bool s = trace::should_sample(seq, 64);
+    EXPECT_EQ(s, trace::should_sample(seq, 64));  // pure in (seq, denom)
+    hits += s ? 1 : 0;
+  }
+  // 1/64 of 64000 = 1000 expected; the hash should not be wildly biased.
+  EXPECT_GT(hits, 700u);
+  EXPECT_LT(hits, 1300u);
+}
+
+// ---- trace-stream determinism across sim_threads ----
+
+SimConfig sharded_cfg(RingKind ring) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.seed = 12345;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = ring;
+  cfg.sim_shards = 4;
+  return cfg;
+}
+
+/// Serializes every sampled TraceEvent (provenance included) into one
+/// string: any cross-thread reordering or field divergence changes it.
+std::string trace_stream(const SimConfig& cfg, unsigned sim_threads,
+                         u32 sample) {
+  Network net(cfg);
+  net.set_sim_threads(sim_threads);
+  net.set_trace_sampling(sample);
+  std::string stream;
+  u64 events = 0;
+  net.set_tracer([&](const TraceEvent& ev) {
+    JsonWriter w;
+    trace::append_event_json(w, ev);
+    stream += w.str();
+    stream += '\n';
+    ++events;
+  });
+  net.set_traffic(std::make_unique<BernoulliSource>(
+      TrafficPattern::adversarial(1), 0.7, cfg.seed));
+  net.run(1500);
+  EXPECT_GT(events, 100u);
+  return stream;
+}
+
+TEST(TraceThreadDeterminism, PhysicalRingStreamBitIdentical) {
+  const SimConfig cfg = sharded_cfg(RingKind::kPhysical);
+  const std::string one = trace_stream(cfg, 1, 4);
+  EXPECT_EQ(one, trace_stream(cfg, 2, 4));
+  EXPECT_EQ(one, trace_stream(cfg, 4, 4));
+}
+
+TEST(TraceThreadDeterminism, EmbeddedRingStreamBitIdentical) {
+  const SimConfig cfg = sharded_cfg(RingKind::kEmbedded);
+  const std::string one = trace_stream(cfg, 1, 4);
+  EXPECT_EQ(one, trace_stream(cfg, 2, 4));
+  EXPECT_EQ(one, trace_stream(cfg, 4, 4));
+}
+
+TEST(TraceThreadDeterminism, SampledStreamIsSubsetOfFullStream) {
+  // Sampling must only drop whole packets, never reorder the survivors:
+  // the 1-in-4 stream's events all appear, in order, in the full stream.
+  const SimConfig cfg = sharded_cfg(RingKind::kPhysical);
+  std::vector<u64> full, sampled;
+  auto collect = [&cfg](u32 sample, std::vector<u64>& out) {
+    Network net(cfg);
+    net.set_trace_sampling(sample);
+    net.set_tracer([&](const TraceEvent& ev) {
+      out.push_back((ev.seq << 8) | static_cast<u64>(ev.kind));
+    });
+    net.set_traffic(std::make_unique<BernoulliSource>(
+        TrafficPattern::adversarial(1), 0.5, cfg.seed));
+    net.run(800);
+  };
+  collect(1, full);
+  collect(4, sampled);
+  ASSERT_GT(sampled.size(), 0u);
+  ASSERT_LT(sampled.size(), full.size());
+  std::size_t i = 0;
+  for (const u64 key : full) {
+    if (i < sampled.size() && sampled[i] == key) ++i;
+  }
+  EXPECT_EQ(i, sampled.size()) << "sampled stream is not an ordered subset";
+}
+
+// ---- routing-decision provenance ----
+
+struct Crafted {
+  std::unique_ptr<Network> net;
+  RouterId at = 0;       ///< carrier router of the group-0 -> group-1 link
+  PortId gport = 0;      ///< that global port (the minimal output)
+  NodeId src = 0;        ///< a node on `at`
+  NodeId dst = 0;        ///< a node in group 1 (minimal route uses gport)
+  Packet pkt;
+};
+
+Crafted crafted_congestion(RoutingKind routing) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.seed = 7;
+  cfg.routing = routing;
+  cfg.ring = RingKind::kPhysical;
+  Crafted c;
+  c.net = std::make_unique<Network>(cfg);
+  const Dragonfly& topo = c.net->topo();
+  c.at = topo.carrier_router(0, 1);
+  c.gport = topo.carrier_port(0, 1);
+  for (NodeId n = 0; n < topo.nodes(); ++n) {
+    if (topo.router_of_node(n) == c.at) {
+      c.src = n;
+      break;
+    }
+  }
+  for (NodeId n = 0; n < topo.nodes(); ++n) {
+    if (topo.group_of(topo.router_of_node(n)) == 1) {
+      c.dst = n;
+      break;
+    }
+  }
+  c.pkt.src = c.src;
+  c.pkt.dst = c.dst;
+  c.pkt.dst_router = topo.router_of_node(c.dst);
+  c.pkt.size = static_cast<u16>(cfg.packet_size);
+  // Jam the minimal output: zero credits on every VC makes it unavailable
+  // and fully occupied, so the misroute threshold condition fires.
+  for (auto& credits : c.net->router(c.at).outputs[c.gport].credits)
+    credits = 0;
+  return c;
+}
+
+TEST(RouteProvenanceTest, MinimalConditionWhenUncongested) {
+  Crafted c = crafted_congestion(RoutingKind::kOfar);
+  // Restore the drained credits: minimal must win on an idle network.
+  Network fresh(c.net->config());
+  RouteProvenance prov;
+  const RouteChoice choice = fresh.policy().route(
+      fresh, c.at, fresh.topo().node_port(fresh.topo().node_slot(c.src)), 0,
+      c.pkt, 0, &prov);
+  ASSERT_TRUE(choice.valid);
+  EXPECT_EQ(choice.misroute, MisrouteKind::kNone);
+  EXPECT_EQ(prov.condition, RouteCondition::kMinimal);
+  EXPECT_EQ(prov.min_port, c.gport);
+  EXPECT_EQ(choice.out_port, prov.min_port);
+  EXPECT_EQ(prov.q_min, 0.0f);
+}
+
+TEST(RouteProvenanceTest, InjectionQueueMisroutesGloballyAndRecordsIt) {
+  Crafted c = crafted_congestion(RoutingKind::kOfar);
+  const Dragonfly& topo = c.net->topo();
+  RouteProvenance prov;
+  const RouteChoice choice = c.net->policy().route(
+      *c.net, c.at, topo.node_port(topo.node_slot(c.src)), 0, c.pkt, 0,
+      &prov);
+  ASSERT_TRUE(choice.valid);
+  // Injection-queue packets in the source group misroute globally (§IV-A).
+  ASSERT_EQ(choice.misroute, MisrouteKind::kGlobal);
+  EXPECT_EQ(prov.condition, RouteCondition::kMisrouteGlobal);
+  EXPECT_EQ(prov.min_port, c.gport);
+  EXPECT_GE(prov.q_min, 1.0f);  // fully occupied minimal output
+  EXPECT_LT(prov.chosen_occ, prov.q_min);
+  ASSERT_GT(prov.num_candidates, 0u);
+  bool chosen_listed = false;
+  for (u32 i = 0; i < prov.num_candidates; ++i)
+    chosen_listed |= prov.candidates[i] == choice.out_port;
+  EXPECT_TRUE(chosen_listed) << "chosen port missing from candidate list";
+  EXPECT_EQ(topo.port_class(choice.out_port), PortClass::kGlobal);
+}
+
+TEST(RouteProvenanceTest, TransitQueueMisroutesLocallyAndRecordsIt) {
+  Crafted c = crafted_congestion(RoutingKind::kOfar);
+  const Dragonfly& topo = c.net->topo();
+  RouteProvenance prov;
+  const RouteChoice choice = c.net->policy().route(
+      *c.net, c.at, topo.first_local_port(), 0, c.pkt, 0, &prov);
+  ASSERT_TRUE(choice.valid);
+  // Transit queues try local misroute first (§IV-A starvation rule).
+  ASSERT_EQ(choice.misroute, MisrouteKind::kLocal);
+  EXPECT_EQ(prov.condition, RouteCondition::kMisrouteLocal);
+  EXPECT_EQ(topo.port_class(choice.out_port), PortClass::kLocal);
+  bool chosen_listed = false;
+  for (u32 i = 0; i < prov.num_candidates; ++i)
+    chosen_listed |= prov.candidates[i] == choice.out_port;
+  EXPECT_TRUE(chosen_listed);
+}
+
+TEST(RouteProvenanceTest, OfarLRecordsGlobalEvenFromTransitQueue) {
+  Crafted c = crafted_congestion(RoutingKind::kOfarL);
+  const Dragonfly& topo = c.net->topo();
+  RouteProvenance prov;
+  const RouteChoice choice = c.net->policy().route(
+      *c.net, c.at, topo.first_local_port(), 0, c.pkt, 0, &prov);
+  ASSERT_TRUE(choice.valid);
+  ASSERT_EQ(choice.misroute, MisrouteKind::kGlobal);  // local disabled
+  EXPECT_EQ(prov.condition, RouteCondition::kMisrouteGlobal);
+}
+
+TEST(RouteProvenanceTest, WaitAtDestinationRecordsWaitBusy) {
+  Crafted c = crafted_congestion(RoutingKind::kOfar);
+  const Dragonfly& topo = c.net->topo();
+  const RouterId dst_router = c.pkt.dst_router;
+  const PortId eject = topo.node_port(topo.node_slot(c.dst));
+  for (auto& credits : c.net->router(dst_router).outputs[eject].credits)
+    credits = 0;
+  RouteProvenance prov;
+  const RouteChoice choice = c.net->policy().route(
+      *c.net, dst_router, topo.first_local_port(), 0, c.pkt, 0, &prov);
+  EXPECT_FALSE(choice.valid);
+  EXPECT_EQ(prov.condition, RouteCondition::kWaitBusy);
+  EXPECT_EQ(prov.min_port, eject);
+}
+
+TEST(RouteProvenanceTest, NullProvenanceChangesNothing) {
+  // The prov out-param must never affect the decision (or RNG draws):
+  // identical crafted calls with and without it pick the same port.
+  Crafted a = crafted_congestion(RoutingKind::kOfar);
+  Crafted b = crafted_congestion(RoutingKind::kOfar);
+  const Dragonfly& topo = a.net->topo();
+  const PortId in = topo.node_port(topo.node_slot(a.src));
+  RouteProvenance prov;
+  const RouteChoice with = a.net->policy().route(*a.net, a.at, in, 0, a.pkt,
+                                                 0, &prov);
+  const RouteChoice without = b.net->policy().route(*b.net, b.at, in, 0,
+                                                    b.pkt, 0, nullptr);
+  EXPECT_EQ(with.out_port, without.out_port);
+  EXPECT_EQ(with.out_vc, without.out_vc);
+  EXPECT_EQ(with.misroute, without.misroute);
+}
+
+// ---- flight recorder ----
+
+TraceEvent make_event(RouterId router, u64 seq, Cycle cycle) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kGrant;
+  ev.packet = 0;
+  ev.router = router;
+  ev.seq = seq;
+  ev.cycle = cycle;
+  return ev;
+}
+
+TEST(FlightRecorderTest, KeepsLastNPerRouterOldestFirst) {
+  trace::FlightRecorder rec(4, 3);
+  for (u64 i = 0; i < 5; ++i) rec.record(make_event(1, i, 100 + i));
+  rec.record(make_event(2, 99, 500));
+  const auto r1 = rec.snapshot(1);
+  ASSERT_EQ(r1.size(), 3u);  // bounded at depth
+  EXPECT_EQ(r1[0].seq, 2u);  // oldest retained
+  EXPECT_EQ(r1[1].seq, 3u);
+  EXPECT_EQ(r1[2].seq, 4u);
+  ASSERT_EQ(rec.snapshot(2).size(), 1u);
+  EXPECT_TRUE(rec.snapshot(3).empty());
+  EXPECT_TRUE(rec.snapshot(77).empty());  // out of range, not UB
+  EXPECT_EQ(rec.total_recorded(), 6u);
+}
+
+TEST(FlightRecorderTest, DumpJsonEmbedsContext) {
+  trace::FlightRecorder rec(2, 4);
+  rec.record(make_event(0, 1, 10));
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "flight.json").string();
+  ASSERT_TRUE(rec.dump_json(path, "unit_test", 42, "{\"why\":\"test\"}"));
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"reason\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(body.find("\"context\":{\"why\":\"test\"}"), std::string::npos);
+  EXPECT_NE(body.find("\"router\":0"), std::string::npos);
+}
+
+// ---- PacketTracer end to end ----
+
+TEST(PacketTracerTest, WritesPerfettoJsonAndLinkSeries) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "tracer_e2e";
+  fs::create_directories(dir);
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.seed = 99;
+  cfg.routing = RoutingKind::kOfar;
+  cfg.ring = RingKind::kPhysical;
+  trace::TracerConfig tc;
+  tc.out_path = (dir / "trace.json").string();
+  tc.links_path = (dir / "links.csv").string();
+  tc.sample = 1;
+  tc.flight_depth = 8;
+  tc.label = "unit|OFAR";
+  {
+    Network net(cfg);
+    net.enable_tracing(tc);
+    ASSERT_NE(net.packet_tracer(), nullptr);
+    net.set_traffic(std::make_unique<BernoulliSource>(
+        TrafficPattern::adversarial(1), 0.3, cfg.seed));
+    net.run(1200);
+    EXPECT_GT(net.packet_tracer()->events_seen(), 100u);
+    EXPECT_GT(net.packet_tracer()->journeys_completed(), 10u);
+    ASSERT_NE(net.packet_tracer()->recorder(), nullptr);
+    EXPECT_GT(net.packet_tracer()->recorder()->total_recorded(), 0u);
+  }  // ~Network -> ~PacketTracer -> finish(): exporters run here
+  const std::string trace = slurp(tc.out_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"condition\""), std::string::npos);
+  EXPECT_NE(trace.find("minimal"), std::string::npos);
+  EXPECT_NE(trace.find("\"label\":\"unit|OFAR\""), std::string::npos);
+  const std::string links = slurp(tc.links_path);
+  ASSERT_FALSE(links.empty());
+  EXPECT_EQ(links.rfind("label,cycle,mean,count\n", 0), 0u);
+  EXPECT_NE(links.find(".util,"), std::string::npos);
+  EXPECT_NE(links.find(".stall,"), std::string::npos);
+}
+
+TEST(PacketTracerTest, DisabledTracingLeavesResultsIdentical) {
+  // The acceptance bar: tracing off -> bit-identical, tracing on -> still
+  // bit-identical results (it is read-only instrumentation either way).
+  const fs::path dir = fs::path(::testing::TempDir()) / "tracer_inert";
+  fs::create_directories(dir);
+  auto run = [&](bool traced) {
+    SimConfig cfg;
+    cfg.h = 2;
+    cfg.seed = 31;
+    cfg.routing = RoutingKind::kOfar;
+    cfg.ring = RingKind::kPhysical;
+    Network net(cfg);
+    if (traced) {
+      trace::TracerConfig tc;
+      tc.out_path = (dir / "t.json").string();
+      tc.sample = 8;
+      net.enable_tracing(tc);
+    }
+    net.set_traffic(std::make_unique<BernoulliSource>(
+        TrafficPattern::adversarial(1), 0.4, cfg.seed));
+    net.run(1500);
+    const Stats& s = net.stats();
+    return std::make_tuple(s.delivered_packets(), s.latency().sum,
+                           s.global_misroutes(), s.ring_entries());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---- orchestrator integration: instrumentation-only, per-point files ----
+
+RunPoint steady_point(u64 seed) {
+  RunPoint p;
+  p.kind = RunKind::kSteady;
+  p.mechanism = "OFAR";
+  p.case_name = "ADV+1";
+  p.seed = seed;
+  p.cfg.h = 2;
+  p.cfg.seed = seed;
+  p.cfg.routing = RoutingKind::kOfar;
+  p.cfg.ring = RingKind::kPhysical;
+  p.pattern = TrafficPattern::adversarial(1);
+  p.load = 0.15;
+  p.run = RunParams::windows(400, 800);
+  return p;
+}
+
+TEST(TraceOrchestration, TraceKnobsDoNotChangeKeysOrResults) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "trace_orch1";
+  fs::create_directories(dir);
+  const std::vector<RunPoint> points{steady_point(5)};
+
+  OrchestratorOptions plain;  // no cache: every run executes
+  const RunReport a = run_points(points, plain);
+
+  OrchestratorOptions traced = plain;
+  traced.trace_out = (dir / "trace.json").string();
+  traced.trace_links = (dir / "links.csv").string();
+  traced.trace_sample = 1;
+  const RunReport b = run_points(points, traced);
+
+  ASSERT_TRUE(a.complete());
+  ASSERT_TRUE(b.complete());
+  EXPECT_EQ(a.outcomes[0].key, b.outcomes[0].key);
+  EXPECT_EQ(results_digest(points, a), results_digest(points, b));
+  // A single executed point writes the requested paths verbatim.
+  EXPECT_TRUE(fs::exists(dir / "trace.json"));
+  EXPECT_TRUE(fs::exists(dir / "links.csv"));
+}
+
+TEST(TraceOrchestration, MultiPointRunsWritePerPointFiles) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "trace_orch2";
+  fs::create_directories(dir);
+  const std::vector<RunPoint> points{steady_point(5), steady_point(6)};
+  OrchestratorOptions oo;
+  oo.trace_out = (dir / "trace.json").string();
+  oo.trace_sample = 4;
+  const RunReport r = run_points(points, oo);
+  ASSERT_TRUE(r.complete());
+  // The verbatim path must NOT be used (parallel points would race on it);
+  // instead each point gets a label+seed tagged file.
+  EXPECT_FALSE(fs::exists(dir / "trace.json"));
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_NE(e.path().filename().string().find("trace."),
+              std::string::npos);
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+}
+
+// ---- TimeSeries growth + dumps (satellite of the link sink) ----
+
+TEST(TimeSeriesExtending, GrowsToCoverLateCycles) {
+  TimeSeries ts(0, 0, 100);
+  EXPECT_EQ(ts.num_buckets(), 0u);
+  ts.record_extending(250, 2.0);
+  ASSERT_EQ(ts.num_buckets(), 3u);
+  EXPECT_EQ(ts.bucket(2).count, 1u);
+  ts.record_extending(10, 4.0);  // earlier cycle: no shrink, correct bucket
+  EXPECT_EQ(ts.bucket(0).count, 1u);
+  EXPECT_EQ(ts.bucket(0).sum, 4.0);
+  // The fixed-window record() still drops out-of-window cycles.
+  ts.record(100000, 1.0);
+  EXPECT_EQ(ts.num_buckets(), 3u);
+}
+
+TEST(TimeSeriesExtending, DumpsCsvAndJsonl) {
+  TimeSeries ts(0, 0, 10);
+  ts.record_extending(5, 3.0);
+  ts.record_extending(25, 7.0);
+  const fs::path dir = fs::path(::testing::TempDir());
+  const std::string csv_path = (dir / "series.csv").string();
+  std::FILE* f = std::fopen(csv_path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ts.dump_csv(f, "lbl");
+  std::fclose(f);
+  EXPECT_EQ(slurp(csv_path), "lbl,5,3,1\nlbl,25,7,1\n");
+
+  const std::string jsonl_path = (dir / "series.jsonl").string();
+  f = std::fopen(jsonl_path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ts.dump_jsonl(f, "lbl");
+  std::fclose(f);
+  const std::string jsonl = slurp(jsonl_path);
+  EXPECT_NE(jsonl.find("\"label\":\"lbl\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"cycle\":5"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ofar

@@ -73,6 +73,16 @@ RULES = [
         "barriers are what make shard-ordered commits possible",
     ),
     (
+        "trace-emit",
+        re.compile(r"(?<![\w.>])tracer_\s*\("),
+        "src/",
+        "direct TraceEvent emission: trace callbacks outside the serial "
+        "phases must be staged in ShardState::traces and flushed by "
+        "commit_shard_staging in shard index order, or the trace stream "
+        "stops being bit-identical across sim_threads (DESIGN.md §11); "
+        "reviewed serial-phase sites carry `// lint: allow(trace-emit)`",
+    ),
+    (
         "unordered-commit",
         re.compile(
             r"for\s*\([^;)]*:\s*[^)]*unordered[^)]*\)"
