@@ -44,14 +44,16 @@ void parallel_for(std::size_t count,
 // ---------------------------------------------------------------------------
 
 struct ShardPool::Impl {
-  std::mutex mutex;
+  tsa::Mutex mutex;
   std::condition_variable start_cv;   // workers wait here between phases
   std::condition_variable done_cv;    // the caller waits here for the barrier
-  u64 generation = 0;                 // bumped per phase; wakes the workers
-  u32 count = 0;                      // shard count of the active phase
-  const std::function<void(u32)>* fn = nullptr;
-  unsigned pending = 0;               // workers still running the phase
-  bool shutdown = false;
+  u64 generation OFAR_GUARDED_BY(mutex) = 0;   // bumped per phase
+  u32 count OFAR_GUARDED_BY(mutex) = 0;        // shard count of active phase
+  const std::function<void(u32)>* fn OFAR_GUARDED_BY(mutex) = nullptr;
+  unsigned pending OFAR_GUARDED_BY(mutex) = 0; // workers still in the phase
+  bool shutdown OFAR_GUARDED_BY(mutex) = false;
+  // Written only before any worker runs (ctor) and after all are woken for
+  // shutdown (dtor join) — never concurrently, so not guarded.
   std::vector<std::thread> workers;
 };
 
@@ -67,7 +69,7 @@ ShardPool::ShardPool(unsigned threads)
 ShardPool::~ShardPool() {
   if (impl_ == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::lock_guard<tsa::Mutex> lock(impl_->mutex);
     impl_->shutdown = true;
   }
   impl_->start_cv.notify_all();
@@ -81,7 +83,7 @@ void ShardPool::worker_loop(unsigned worker_index) {
     const std::function<void(u32)>* fn = nullptr;
     u32 count = 0;
     {
-      std::unique_lock<std::mutex> lock(impl_->mutex);
+      std::unique_lock<std::mutex> lock(impl_->mutex.native());
       impl_->start_cv.wait(lock, [&] {
         return impl_->shutdown || impl_->generation != seen;
       });
@@ -93,10 +95,15 @@ void ShardPool::worker_loop(unsigned worker_index) {
     // Static stride partition: worker w takes shards w, w+N, w+2N, ...
     for (u32 i = worker_index; i < count; i += threads_) (*fn)(i);
     {
-      std::lock_guard<std::mutex> lock(impl_->mutex);
+      std::lock_guard<std::mutex> lock(impl_->mutex.native());
       if (--impl_->pending == 0) impl_->done_cv.notify_one();
     }
   }
+}
+
+void ShardPool::wait_done() {
+  std::unique_lock<std::mutex> lock(impl_->mutex.native());
+  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
 }
 
 void ShardPool::parallel_phase(u32 count, const std::function<void(u32)>& fn) {
@@ -106,7 +113,7 @@ void ShardPool::parallel_phase(u32 count, const std::function<void(u32)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::lock_guard<tsa::Mutex> lock(impl_->mutex);
     impl_->fn = &fn;
     impl_->count = count;
     impl_->pending = static_cast<unsigned>(impl_->workers.size());
@@ -115,8 +122,7 @@ void ShardPool::parallel_phase(u32 count, const std::function<void(u32)>& fn) {
   impl_->start_cv.notify_all();
   // The caller is worker 0.
   for (u32 i = 0; i < count; i += threads_) fn(i);
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+  wait_done();
 }
 
 }  // namespace ofar

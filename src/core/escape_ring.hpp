@@ -14,6 +14,7 @@
 #pragma once
 
 #include "common/config.hpp"
+#include "common/phase.hpp"
 #include "routing/routing.hpp"
 
 namespace ofar {
@@ -30,14 +31,15 @@ class EscapeRingControl {
   /// free and exits remain, otherwise continue along the ring (bubble
   /// permitting) or wait. `prov`, when non-null, records which ring rule
   /// fired (kRingExit / kRingRide / kWaitBusy).
-  RouteChoice ride(Network& net, RouterId at, Packet& pkt,
-                   RouteProvenance* prov = nullptr) const;
+  OFAR_PARALLEL_PHASE RouteChoice ride(Network& net, RouterId at,
+                                       Packet& pkt,
+                                       RouteProvenance* prov = nullptr) const;
 
   /// Ring-entry choice for a canonical packet at router `at`; invalid when
   /// the bubble condition fails or the ring output is busy. `prov` records
   /// kRingEnter on success, kWaitStarved when the bubble denies entry.
-  RouteChoice enter(Network& net, RouterId at,
-                    RouteProvenance* prov = nullptr) const;
+  OFAR_PARALLEL_PHASE RouteChoice enter(
+      Network& net, RouterId at, RouteProvenance* prov = nullptr) const;
 
  private:
   /// Ring-output request with `need` phits of escape-VC credit.

@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "common/phase.hpp"
 #include "common/rng.hpp"
 #include "core/escape_ring.hpp"
 #include "routing/routing.hpp"
@@ -52,7 +53,7 @@ class OfarPolicy final : public RoutingPolicy {
   /// stream so K = 1 runs replay the sequential kernel's draws exactly.
   struct Lane {
     explicit Lane(u64 seed) : rng(seed) {}
-    Rng rng;
+    OFAR_LANE_RNG Rng rng;
     std::vector<PortId> scratch;
   };
 
@@ -75,7 +76,7 @@ class OfarPolicy final : public RoutingPolicy {
   EscapeRingControl ring_;
   bool allow_local_;
   u64 seed_;  ///< salted policy seed, basis for the per-lane streams
-  std::vector<Lane> lanes_;
+  OFAR_LANE_RNG std::vector<Lane> lanes_;
 };
 
 }  // namespace ofar

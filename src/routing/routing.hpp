@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/phase.hpp"
 #include "common/types.hpp"
 #include "sim/packet.hpp"
 
@@ -45,7 +46,9 @@ const char* to_string(RouteCondition c) noexcept;
 /// taken on, captured at decision time. route() fills it only when the
 /// caller passes a non-null out-param (a traced packet), so the plain
 /// hot path never pays for it. All occupancies are fractions in [0, 1].
-struct RouteProvenance {
+/// Shard-local: a provenance record belongs to the packet being routed,
+/// and a packet is only ever routed by the shard that owns its router.
+struct OFAR_SHARD_LOCAL RouteProvenance {
   static constexpr u32 kMaxCandidates = 8;
 
   RouteCondition condition = RouteCondition::kNone;
@@ -94,7 +97,10 @@ class RoutingPolicy {
   virtual const char* name() const noexcept = 0;
 
   /// Called when `pkt` enters the injection queue of router `at`.
-  virtual void on_inject(Network& net, Packet& pkt, RouterId at);
+  /// Injection is always a serial phase: on_inject may freely draw from the
+  /// policy's sequential RNG stream and mutate policy state.
+  OFAR_SERIAL_ONLY virtual void on_inject(Network& net, Packet& pkt,
+                                          RouterId at);
 
   /// Desired output for the head packet of (in_port, in_vc) at router `at`.
   /// Must only return outputs that are grantable right now: output port not
@@ -111,18 +117,18 @@ class RoutingPolicy {
   /// `prov`, when non-null, asks the policy to record the evidence behind
   /// the decision (packet tracing); filling it must not change the
   /// decision or consume extra RNG draws.
-  virtual RouteChoice route(Network& net, RouterId at, PortId in_port,
-                            VcId in_vc, Packet& pkt, u32 lane,
-                            RouteProvenance* prov = nullptr) = 0;
+  OFAR_PARALLEL_PHASE virtual RouteChoice route(
+      Network& net, RouterId at, PortId in_port, VcId in_vc, Packet& pkt,
+      u32 lane, RouteProvenance* prov = nullptr) = 0;
 
   /// Announces the number of route() lanes the kernel will use (the shard
   /// count). Called once at Network construction, before any traffic.
   /// Policies without route()-time randomness can ignore it.
-  virtual void bind_lanes(u32 lanes);
+  OFAR_SERIAL_ONLY virtual void bind_lanes(u32 lanes);
 
   /// Per-cycle global update hook (PB's intra-group broadcast). Always
   /// called serially, between event delivery and the transfer phase.
-  virtual void tick(Network& net);
+  OFAR_SERIAL_ONLY virtual void tick(Network& net);
 };
 
 /// Builds the policy selected by cfg.routing (OFAR variants live in

@@ -8,6 +8,7 @@
 // flag, so the path-evaluation helper lives here and is shared.
 #pragma once
 
+#include "common/phase.hpp"
 #include "common/rng.hpp"
 #include "routing/valiant.hpp"
 
@@ -28,8 +29,12 @@ struct UgalPaths {
 
 /// Evaluates the minimal path and one random Valiant candidate for a packet
 /// injected at router `at`. Requires at != pkt.dst_router.
-UgalPaths evaluate_ugal_paths(Network& net, const Packet& pkt, RouterId at,
-                              Rng& rng);
+/// Parallel-legal: draws only from the caller-supplied stream — serial
+/// callers (UGAL/PB on_inject) pass the sequential rng_, PAR's route()
+/// passes route_rng(lane).
+OFAR_PARALLEL_PHASE UgalPaths evaluate_ugal_paths(Network& net,
+                                                  const Packet& pkt,
+                                                  RouterId at, Rng& rng);
 
 /// The UGAL comparison with additive bias T (phits).
 inline bool ugal_prefers_minimal(const UgalPaths& p, i32 bias) noexcept {

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/phase.hpp"
 #include "common/rng.hpp"
 #include "routing/routing.hpp"
 
@@ -38,15 +39,17 @@ class ValiantPolicy : public RoutingPolicy {
   /// sharded runs replay the sequential kernel's draws exactly. The phases
   /// that draw from lane 0 via route() (parallel allocation) and via
   /// on_inject (serial injection) never overlap, so sharing is safe.
-  Rng& route_rng(u32 lane) noexcept {
+  OFAR_LANE_RNG Rng& route_rng(u32 lane) noexcept {
     return lane == 0 ? rng_ : lane_rngs_[lane - 1];
   }
 
-  Rng rng_;
+  /// The sequential stream. NOT lane-annotated: route()-reachable code must
+  /// go through route_rng(lane) — ofar_lint flags direct rng_ draws there.
+  OFAR_SERIAL_ONLY Rng rng_;
 
  private:
   u64 seed_;  ///< salted policy seed, basis for the extra lane streams
-  std::vector<Rng> lane_rngs_;
+  OFAR_LANE_RNG std::vector<Rng> lane_rngs_;
 };
 
 }  // namespace ofar

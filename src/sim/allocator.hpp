@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/phase.hpp"
 #include "common/types.hpp"
 #include "routing/routing.hpp"
 #include "sim/router.hpp"
@@ -25,7 +26,10 @@ struct AllocRequest {
   bool granted = false;
 };
 
-class SeparableAllocator {
+// Shard-local: each router owns one allocator instance, and a router is
+// only ever advanced by its owning shard, so the scratch arrays below
+// are never shared across workers.
+class OFAR_SHARD_LOCAL SeparableAllocator {
  public:
   /// `max_ports` = ports per router (scratch sizing).
   explicit SeparableAllocator(u32 max_ports);
@@ -33,9 +37,11 @@ class SeparableAllocator {
   /// Runs the separable allocation over `reqs` (all requests of one router
   /// for this cycle). Marks winning requests granted and updates the
   /// router's LRS arbiter state. At most one grant per input port and per
-  /// output port.
-  void run(Router& router, std::vector<AllocRequest>& reqs, u32 iterations,
-           Cycle now);
+  /// output port. Parallel-legal: each shard owns one allocator (in its
+  /// ShardState) and only passes routers of its own shard.
+  OFAR_PARALLEL_PHASE void run(Router& router,
+                               std::vector<AllocRequest>& reqs,
+                               u32 iterations, Cycle now);
 
  private:
   std::vector<std::vector<u32>> by_input_;   // request idx per input port

@@ -5,6 +5,7 @@
 // itself is plain data plus a utilisation counter.
 #pragma once
 
+#include "common/phase.hpp"
 #include "common/types.hpp"
 
 namespace ofar {
@@ -19,7 +20,9 @@ enum class ChannelClass : u8 {
 
 const char* to_string(ChannelClass c) noexcept;
 
-struct Channel {
+// Shard-local: a channel is owned by its source router's shard (which is
+// the shard that advances transfers over it and bumps phits_carried).
+struct OFAR_SHARD_LOCAL Channel {
   RouterId src_router = 0;
   PortId src_port = 0;
   // Destination: a router input port, or a node for ejection channels.

@@ -12,11 +12,15 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "common/phase.hpp"
 #include "common/types.hpp"
 
 namespace ofar {
 
-class VcFifo {
+// Shard-local: fifos live inside Router input/output units; the owning
+// shard is the only writer during parallel phases (pushes from the
+// serial delivery commit target the destination router's shard state).
+class OFAR_SHARD_LOCAL VcFifo {
  public:
   VcFifo() = default;
   explicit VcFifo(u32 capacity_phits) : capacity_(capacity_phits) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "trace/trace.hpp"
 #include "trace/tracer.hpp"
 
@@ -1060,7 +1061,12 @@ void Network::enable_tracing(const trace::TracerConfig& tcfg) {
   set_trace_sampling(tcfg.sample);
   trace_ = std::make_unique<trace::PacketTracer>(*this, tcfg);
   trace::PacketTracer* sink = trace_.get();
-  tracer_ = [sink](const TraceEvent& ev) { sink->on_event(ev); };
+  tracer_ = [sink](const TraceEvent& ev) {
+    // tracer_ only fires from serial sections (direct emission sites carry
+    // lint waivers; staged events flush via commit_shard_staging).
+    tsa::serial_phase.assert_held();
+    sink->on_event(ev);
+  };
 }
 
 void Network::enable_audit(Cycle interval) {

@@ -31,6 +31,7 @@
 
 #include "common/config.hpp"
 #include "common/parallel.hpp"
+#include "common/phase.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "routing/routing.hpp"
@@ -333,27 +334,30 @@ class Network {
   void build_ring();
   void size_output_credits();
 
-  void deliver_events();
-  void update_throttle();
+  OFAR_SERIAL_ONLY void deliver_events();
+  OFAR_SERIAL_ONLY void update_throttle();
   /// Transfer/allocation phases, per shard. kStaged = false writes events,
   /// stats and traces directly (the K = 1 sequential kernel, bit-identical
   /// to the pre-shard implementation); kStaged = true routes every
   /// cross-shard effect through the shard's outbox for the serial commit.
+  /// ofar_lint exempts the `if constexpr (!kStaged)` branches from the
+  /// parallel-phase rules: they only instantiate into the serial kernel.
   template <bool kStaged>
-  void advance_transfers(ShardState& sh);
+  OFAR_PARALLEL_PHASE void advance_transfers(ShardState& sh);
   template <bool kStaged>
-  void do_allocation(ShardState& sh, u32 lane);
+  OFAR_PARALLEL_PHASE void do_allocation(ShardState& sh, u32 lane);
   template <bool kStaged>
-  void commit_grant(ShardState& sh, Router& r, const AllocRequest& rq,
-                    const RouteProvenance* prov);
-  void do_injection();
-  void run_watchdog();
+  OFAR_PARALLEL_PHASE void commit_grant(ShardState& sh, Router& r,
+                                        const AllocRequest& rq,
+                                        const RouteProvenance* prov);
+  OFAR_SERIAL_ONLY void do_injection();
+  OFAR_SERIAL_ONLY void run_watchdog();
   /// step() with the phase profiler wrapped around each phase; selected by
   /// a single telem_ null test so the plain path stays instrumentation-free.
-  void step_instrumented();
+  OFAR_SERIAL_ONLY void step_instrumented();
   /// Periodic auditor driver: runs the full check suite and aborts with the
   /// report on any violation. Reschedules itself audit_interval_ ahead.
-  void run_audit();
+  OFAR_SERIAL_ONLY void run_audit();
 
   // ---- sharded kernel (num_shards() > 1 only) ----
   /// One shard's slice of event delivery: scans the full wheel slot and
@@ -361,57 +365,66 @@ class Network {
   /// ejection and credit: the source router's shard). Read-shared /
   /// write-own, so shards need no locks; the slot is cleared serially
   /// afterwards in commit_shard_deliveries().
-  void deliver_events_shard(ShardState& sh, u32 shard);
+  OFAR_PARALLEL_PHASE void deliver_events_shard(ShardState& sh, u32 shard);
   /// Serial: clears the current wheel slot and performs the staged packet
   /// deliveries (stats doubles, tracer, pool destroy) in shard order.
-  void commit_shard_deliveries();
+  OFAR_SERIAL_ONLY void commit_shard_deliveries();
   /// Serial: flushes staged traces/stat counters and commits the event
   /// outboxes into the wheels, in shard-ascending order.
-  void commit_shard_staging();
+  OFAR_SERIAL_ONLY void commit_shard_staging();
   /// Dispatches fn(shard) for every shard on the worker pool (or inline
   /// when single-threaded) and waits for all of them.
-  void run_shard_phase(const std::function<void(u32)>& fn);
-  void step_sharded();
-  void step_sharded_instrumented();
+  OFAR_SERIAL_ONLY void run_shard_phase(const std::function<void(u32)>& fn);
+  OFAR_SERIAL_ONLY void step_sharded();
+  OFAR_SERIAL_ONLY void step_sharded_instrumented();
 
   // ---- activity worklists ----
   /// Adds router r to the active worklist (idempotent). Called whenever a
   /// packet enters one of r's input FIFOs; r leaves the list via the prune
   /// pass fused into advance_transfers() once it holds no packet and
   /// streams nothing.
-  void mark_router_active(RouterId r);
+  /// Parallel-legal: a shard only ever marks routers it owns, and both the
+  /// membership flag and the worklist it appends to live in that shard's
+  /// slice (router_in_worklist_[r] / shards_[shard_of_router_[r]]).
+  OFAR_PARALLEL_PHASE void mark_router_active(RouterId r);
   /// Adds node n to the pending-injection worklist (idempotent).
-  void mark_node_pending(NodeId n);
+  OFAR_SERIAL_ONLY void mark_node_pending(NodeId n);
 
   /// Creates the packet object for an accepted injection.
-  void place_packet(NodeId src, const Offer& offer);
+  OFAR_SERIAL_ONLY void place_packet(NodeId src, const Offer& offer);
   /// Final delivery at the destination node.
-  void deliver_packet(PacketId id);
+  OFAR_SERIAL_ONLY void deliver_packet(PacketId id);
 
-  void schedule_phit(ChannelId ch, PacketId pkt, VcId vc, bool head,
-                     bool tail, u32 latency);
-  void schedule_credit(ChannelId ch, VcId vc, u32 latency);
+  OFAR_SERIAL_ONLY void schedule_phit(ChannelId ch, PacketId pkt, VcId vc,
+                                      bool head, bool tail, u32 latency);
+  OFAR_SERIAL_ONLY void schedule_credit(ChannelId ch, VcId vc, u32 latency);
 
+  // Topology/config members carry no phase annotation: they are written
+  // only during construction and read-only afterwards, so any phase may
+  // read them (ofar_lint only polices writes and serial-only calls).
   SimConfig cfg_;
   Dragonfly topo_;
   std::unique_ptr<HamiltonianRing> ring_;
-  std::vector<Router> routers_;
-  std::vector<Channel> channels_;
+  // Routers, channels and packets are partitioned by shard ownership: a
+  // parallel phase touches only the slice its shard owns (a packet is owned
+  // by the router currently buffering it).
+  OFAR_SHARD_LOCAL std::vector<Router> routers_;
+  OFAR_SHARD_LOCAL std::vector<Channel> channels_;
   std::vector<RingOut> ring_out_;          // per router
   std::vector<PortId> ring_in_port_;       // per router (embedded/physical)
   std::vector<u32> ring_in_first_vc_;      // per router
   std::vector<u32> ring_in_num_vcs_;       // per router
-  PacketPool pool_;
-  Rng rng_;
-  Stats stats_;
+  OFAR_SHARD_LOCAL PacketPool pool_;
+  OFAR_SERIAL_ONLY Rng rng_;  ///< parallel phases draw via policy lane RNGs
+  OFAR_SERIAL_ONLY Stats stats_;  ///< parallel phases stage in ShardState
   std::unique_ptr<RoutingPolicy> policy_;
-  std::unique_ptr<TrafficSource> traffic_;
-  std::function<void(const TraceEvent&)> tracer_;
+  OFAR_SERIAL_ONLY std::unique_ptr<TrafficSource> traffic_;
+  OFAR_SERIAL_ONLY std::function<void(const TraceEvent&)> tracer_;
 
-  std::vector<std::deque<Offer>> pending_;  // per node source queues
-  u64 pending_total_ = 0;
-  u64 injected_total_ = 0;   // lifetime, never reset (packet conservation)
-  u64 delivered_total_ = 0;  // lifetime, never reset
+  OFAR_SERIAL_ONLY std::vector<std::deque<Offer>> pending_;  // per node
+  OFAR_SERIAL_ONLY u64 pending_total_ = 0;
+  OFAR_SERIAL_ONLY u64 injected_total_ = 0;   // lifetime, never reset
+  OFAR_SERIAL_ONLY u64 delivered_total_ = 0;  // lifetime, never reset
 
   // Activity worklists (see class comment). Invariants:
   //  - router_in_worklist_[r] != 0  <=>  r appears in the active_routers
@@ -426,44 +439,48 @@ class Network {
   // lives inside ShardState (one list per shard; K = 1 keeps the single
   // list of the sequential kernel); the node worklist stays global because
   // injection is always a serial phase.
-  std::vector<ShardState> shards_;
-  std::vector<u32> shard_of_router_;
-  std::vector<u8> router_in_worklist_;
-  std::vector<NodeId> active_nodes_;
-  std::vector<u8> node_in_worklist_;
-  bool active_nodes_sorted_ = true;
+  OFAR_SHARD_LOCAL std::vector<ShardState> shards_;
+  std::vector<u32> shard_of_router_;  // built once, read-only afterwards
+  OFAR_SHARD_LOCAL std::vector<u8> router_in_worklist_;
+  OFAR_SERIAL_ONLY std::vector<NodeId> active_nodes_;
+  OFAR_SERIAL_ONLY std::vector<u8> node_in_worklist_;
+  OFAR_SERIAL_ONLY bool active_nodes_sorted_ = true;
 
   // Worker pool for the sharded kernel's parallel phases; null when
   // sim_threads_ == 1 (phases run inline on the calling thread).
-  std::unique_ptr<ShardPool> shard_pool_;
-  unsigned sim_threads_ = 1;
+  OFAR_SERIAL_ONLY std::unique_ptr<ShardPool> shard_pool_;
+  OFAR_SERIAL_ONLY unsigned sim_threads_ = 1;
 
   // Event wheels indexed by cycle % wheel size. Global (not per shard):
   // every event has latency >= 1, so shards only ever read the current
-  // slot concurrently and push to future slots through their outboxes.
-  std::vector<std::vector<PhitEvent>> phit_wheel_;
-  std::vector<std::vector<CreditEvent>> credit_wheel_;
-  u32 wheel_size_ = 0;
+  // slot concurrently and push to future slots through their outboxes —
+  // hence SERIAL_ONLY: parallel phases may read but never write these.
+  OFAR_SERIAL_ONLY std::vector<std::vector<PhitEvent>> phit_wheel_;
+  OFAR_SERIAL_ONLY std::vector<std::vector<CreditEvent>> credit_wheel_;
+  u32 wheel_size_ = 0;  // built once, read-only afterwards
 
-  Cycle now_ = 0;
+  OFAR_SERIAL_ONLY Cycle now_ = 0;
 
   // Opt-in invariant auditing (see enable_audit). next_audit_ stays at the
   // Cycle max sentinel while disabled, so the per-cycle test in step() is a
   // single never-taken compare.
-  std::unique_ptr<verify::InvariantAuditor> audit_;
-  Cycle audit_interval_ = 0;
-  Cycle next_audit_ = ~Cycle{0};
+  OFAR_SERIAL_ONLY std::unique_ptr<verify::InvariantAuditor> audit_;
+  OFAR_SERIAL_ONLY Cycle audit_interval_ = 0;
+  OFAR_SERIAL_ONLY Cycle next_audit_ = ~Cycle{0};
 
   // Opt-in telemetry. Declared after the members it reads: ~Telemetry may
   // stream a run-end summary, so it must be destroyed before them.
+  // Deliberately NOT phase-annotated: Telemetry resolves the split at
+  // method level (note_*_stall hooks are parallel-legal, everything else
+  // is OFAR_SERIAL_ONLY — see stats/metrics.hpp).
   std::unique_ptr<Telemetry> telem_;
 
   // Opt-in tracing subsystem (src/trace). trace_sample_ applies to any
   // tracer (also ones installed via set_tracer); trace_ owns the
   // PacketTracer behind enable_tracing, whose destructor flushes the
   // exporters — declared last so it runs before the members it reads.
-  u32 trace_sample_ = 1;
-  std::unique_ptr<trace::PacketTracer> trace_;
+  OFAR_SERIAL_ONLY u32 trace_sample_ = 1;
+  OFAR_SERIAL_ONLY std::unique_ptr<trace::PacketTracer> trace_;
 };
 
 }  // namespace ofar

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/phase.hpp"
 #include "common/span.hpp"
 #include "common/types.hpp"
 #include "sim/arbiter.hpp"
@@ -105,7 +106,9 @@ struct InputPort {
   }
 };
 
-struct Router {
+// Shard-local: a router belongs to exactly one shard of the sharded cycle
+// kernel; parallel phases may mutate only routers of their own shard.
+struct OFAR_SHARD_LOCAL Router {
   RouterId id = 0;
   std::vector<InputPort> inputs;
   std::vector<OutputPort> outputs;

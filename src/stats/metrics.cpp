@@ -108,6 +108,8 @@ void Telemetry::define_metrics() {
 }
 
 void Telemetry::sample(const Network& net, Cycle now) {
+  // Serial by contract: called from step()'s post-phase tail and drivers.
+  tsa::serial_phase.assert_held();
   const Cycle width = now - last_sample_cycle_;
   last_sample_cycle_ = now;
   ++samples_;
@@ -234,6 +236,7 @@ void Telemetry::sample(const Network& net, Cycle now) {
 /// estimates, and record emission. Shared by the full and quiescent paths.
 void Telemetry::sample_tail(const Network& net, const Stats& st, Cycle now,
                             Cycle width) {
+  tsa::serial_phase.assert_held();  // only reached from sample()
   reg_.set(id_ring_entries_, static_cast<double>(st.ring_entries()));
   reg_.set(id_ring_reentries_, static_cast<double>(st.ring_reentries()));
   reg_.set(id_mis_local_, static_cast<double>(st.local_misroutes()));

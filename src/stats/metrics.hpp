@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/phase.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace ofar {
@@ -51,8 +53,9 @@ struct MetricDef {
 
 /// Flat registry of named metric series. Metrics are defined once (ids are
 /// dense and stable), updated by id on the hot path, and snapshotted in
-/// definition order for emission.
-class MetricsRegistry {
+/// definition order for emission. Serial-only as a whole: updates happen in
+/// Telemetry::sample / the serial phases, never from shard workers.
+class OFAR_SERIAL_ONLY MetricsRegistry {
  public:
   using Id = u32;
 
@@ -62,11 +65,13 @@ class MetricsRegistry {
     return static_cast<Id>(defs_.size() - 1);
   }
 
-  void set(Id id, double v) {
+  // The hot-path mutators additionally carry the serial_phase capability:
+  // the clang thread-safety build proves no shard worker reaches them.
+  void set(Id id, double v) OFAR_REQUIRES_SERIAL {
     OFAR_DCHECK(id < values_.size());
     values_[id] = v;
   }
-  void add(Id id, double v) {
+  void add(Id id, double v) OFAR_REQUIRES_SERIAL {
     OFAR_DCHECK(id < values_.size());
     values_[id] += v;
   }
@@ -270,17 +275,17 @@ class Telemetry {
   // instead of a shared counter, which would race.
   /// A routable head at (r, p, v) produced no grantable route this cycle
   /// (minimal and every eligible non-minimal output busy or out of credits).
-  void note_credit_stall(RouterId r, PortId p, VcId v) {
+  OFAR_PARALLEL_PHASE void note_credit_stall(RouterId r, PortId p, VcId v) {
     ++vc_credit_stall_[vc_index(r, p, v)];
   }
   /// A head requested an output but lost separable allocation this cycle.
-  void note_alloc_stall(RouterId r, PortId p, VcId v) {
+  OFAR_PARALLEL_PHASE void note_alloc_stall(RouterId r, PortId p, VcId v) {
     ++vc_alloc_stall_[vc_index(r, p, v)];
   }
 
   /// Samples the registry (and emits an interval record) when `now` crosses
   /// the interval boundary. Called once per cycle after all phases ran.
-  void maybe_sample(const Network& net, Cycle now) {
+  OFAR_SERIAL_ONLY void maybe_sample(const Network& net, Cycle now) {
     if (now != next_sample_) return;
     next_sample_ += cfg_.interval;
     sample(net, now);
@@ -288,7 +293,7 @@ class Telemetry {
 
   /// Unconditional snapshot at cycle `now`: refreshes every registry value
   /// from the network state and streams an interval record to the sink.
-  void sample(const Network& net, Cycle now);
+  OFAR_SERIAL_ONLY void sample(const Network& net, Cycle now);
 
   /// Deadlock forensics: called by the watchdog when at least one packet
   /// exceeded the deadlock timeout. Scans every input-VC head whose packet
@@ -297,12 +302,13 @@ class Telemetry {
   /// waits on (the ring output for in-ring packets, the minimal-path port
   /// otherwise — computed from the topology only, so no RNG is consumed).
   /// Rate-limited to cfg.max_forensic_dumps per run.
-  void on_watchdog_trip(const Network& net, u64 stalled, u64 worst_stall);
+  OFAR_SERIAL_ONLY void on_watchdog_trip(const Network& net, u64 stalled,
+                                         u64 worst_stall);
 
   /// Streams the run-end summary record (stats digest, phase profile, stall
   /// totals and the hottest routers). Idempotent; also invoked from the
   /// destructor as a safety net when a driver forgets.
-  void write_summary(const Network& net);
+  OFAR_SERIAL_ONLY void write_summary(const Network& net);
 
   // ---- in-memory queries (tests, drivers) ----
   // Totals are summed on demand (sample-rate paths only, never per cycle);
@@ -348,8 +354,10 @@ class Telemetry {
   // ---- structure-indexed accumulators ----
   u32 ports_ = 0;                 ///< ports per router (uniform)
   std::vector<u32> vc_base_;      ///< (router*ports_ + port) -> flat VC base
-  std::vector<u64> vc_credit_stall_;  ///< per input VC, head-cycles blocked
-  std::vector<u64> vc_alloc_stall_;   ///< per input VC, grants lost
+  // Shard-local: the stall hooks write only the slot of a (router,port,VC)
+  // the calling shard owns.
+  OFAR_SHARD_LOCAL std::vector<u64> vc_credit_stall_;  ///< head-cycles blocked
+  OFAR_SHARD_LOCAL std::vector<u64> vc_alloc_stall_;   ///< grants lost
   std::vector<u64> prev_phits_;   ///< per channel, phits_carried at last sample
   std::vector<u64> delta_scratch_;  ///< per channel, phits this interval
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/phase.hpp"
 #include "common/types.hpp"
 #include "stats/timeseries.hpp"
 
@@ -99,7 +100,10 @@ class LatencyHistogram {
   std::array<u64, kBuckets> buckets_{};
 };
 
-class Stats {
+// Serial-only as a whole: every on_* hook mutates shared accumulators, so
+// parallel phases stage their counts in ShardState and the serial commit
+// replays them in shard order (DESIGN.md §10).
+class OFAR_SERIAL_ONLY Stats {
  public:
   Stats() = default;
 

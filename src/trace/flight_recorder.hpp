@@ -12,17 +12,21 @@
 #include <string>
 #include <vector>
 
+#include "common/phase.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/network.hpp"
 #include "stats/sink.hpp"
 
 namespace ofar::trace {
 
-class FlightRecorder {
+// Serial-only as a whole: record() mutates the shared per-router rings, so
+// it may only run from the serial trace flush (PacketTracer::on_event).
+class OFAR_SERIAL_ONLY FlightRecorder {
  public:
   /// `routers` rings of `depth` events each (depth 0 disables recording).
   FlightRecorder(u32 routers, u32 depth);
 
-  void record(const TraceEvent& ev);
+  void record(const TraceEvent& ev) OFAR_REQUIRES_SERIAL;
 
   u32 depth() const noexcept { return depth_; }
   u64 total_recorded() const noexcept { return total_; }

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "common/phase.hpp"
+#include "common/thread_annotations.hpp"
 #include "sim/network.hpp"
 #include "stats/timeseries.hpp"
 #include "trace/flight_recorder.hpp"
@@ -29,14 +31,18 @@
 
 namespace ofar::trace {
 
-class PacketTracer {
+// Serial-only as a whole: the tracer mutates per-packet journey state on
+// every event, so the sharded kernel stages TraceEvents in ShardState and
+// flushes them here from the serial commit, in shard-ascending order
+// (DESIGN.md §11).
+class OFAR_SERIAL_ONLY PacketTracer {
  public:
   PacketTracer(const Network& net, TracerConfig cfg);
   ~PacketTracer();  // finish() safety net
   PacketTracer(const PacketTracer&) = delete;
   PacketTracer& operator=(const PacketTracer&) = delete;
 
-  void on_event(const TraceEvent& ev);
+  void on_event(const TraceEvent& ev) OFAR_REQUIRES_SERIAL;
 
   /// Writes the configured exporters once (idempotent; also run by the
   /// destructor). Safe to call mid-run for a snapshot of completed work.

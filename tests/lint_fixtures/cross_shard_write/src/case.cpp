@@ -1,0 +1,39 @@
+// Fixture: parallel-phase writes to state with no shard-ownership
+// annotation must be flagged; OFAR_SHARD_LOCAL classes and mutations of
+// caller-supplied parameters (ShardState staging) are fine.
+
+struct Queue {
+  void push(int v);
+  int head_ = 0;
+};
+
+void Queue::push(int v) {
+  head_ = v;  // expect: cross-shard-write
+}
+
+struct OFAR_SHARD_LOCAL Buffer {
+  void put(int v);
+  int slot_ = 0;
+};
+
+void Buffer::put(int v) {
+  slot_ = v;  // fine: shard-local class
+}
+
+struct ShardState {
+  int staged_ = 0;
+};
+
+struct Kernel {
+  OFAR_PARALLEL_PHASE void phase(ShardState& sh);
+  Queue q_;
+  Buffer b_;
+  int scratch_ = 0;
+};
+
+void Kernel::phase(ShardState& sh) {
+  q_.push(1);      // expect: cross-shard-write
+  b_.put(2);
+  scratch_ = 3;    // expect: cross-shard-write
+  sh.staged_ = 4;  // fine: staging into the caller's ShardState
+}

@@ -1,0 +1,26 @@
+// Fixture: a correctly staged mini-kernel — no findings expected.
+// Parallel phases mutate only shard-local state and the caller-supplied
+// ShardState; serial effects happen in the serial commit.
+
+#include <vector>
+
+struct ShardState {
+  std::vector<int> out;
+};
+
+struct Kernel {
+  OFAR_PARALLEL_PHASE void phase(ShardState& sh);
+  OFAR_SERIAL_ONLY void commit(ShardState& sh);
+  OFAR_SHARD_LOCAL std::vector<int> work_;
+  OFAR_SERIAL_ONLY long total_ = 0;
+};
+
+void Kernel::phase(ShardState& sh) {
+  work_.push_back(1);   // shard-owned
+  sh.out.push_back(2);  // staged via the caller's ShardState
+}
+
+void Kernel::commit(ShardState& sh) {
+  for (int v : sh.out) total_ += v;
+  sh.out.clear();
+}

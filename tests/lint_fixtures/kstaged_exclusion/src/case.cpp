@@ -1,0 +1,24 @@
+// Fixture: `if constexpr (kStaged)` dual-instantiation — branches that
+// only exist in the K=1 sequential kernel (the `else` of kStaged, the
+// `then` of !kStaged) are exempt from parallel-phase rules; the same
+// call outside those regions is flagged.
+
+struct Kernel {
+  template <bool kStaged>
+  OFAR_PARALLEL_PHASE void advance();
+  OFAR_SERIAL_ONLY void schedule();
+  OFAR_SHARD_LOCAL int local_ = 0;
+};
+
+template <bool kStaged>
+void Kernel::advance() {
+  if constexpr (kStaged) {
+    local_ += 1;
+  } else {
+    schedule();  // fine: sequential-kernel-only branch
+  }
+  if constexpr (!kStaged) {
+    schedule();  // fine: sequential-kernel-only branch
+  }
+  schedule();  // expect: serial-call
+}

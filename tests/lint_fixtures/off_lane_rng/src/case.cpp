@@ -1,0 +1,42 @@
+// Fixture: RNG streams used in parallel-phase code must be lane-bound.
+// Direct serial-stream draws are flagged, including in virtual overrides
+// that inherit parallel_phase from the base declaration; draws through
+// the OFAR_LANE_RNG accessor or an OFAR_LANE_RNG member are fine, as is
+// the rng_ fallback inside the accessor itself (the sanctioned seam).
+
+struct Rng {
+  unsigned below(unsigned bound);
+};
+
+struct Policy {
+  OFAR_PARALLEL_PHASE virtual unsigned route(unsigned at, unsigned lane);
+  OFAR_SERIAL_ONLY void on_inject();
+  OFAR_LANE_RNG Rng& route_rng(unsigned lane);
+  OFAR_SERIAL_ONLY Rng rng_;
+  OFAR_LANE_RNG Rng lane_rng_;
+};
+
+Rng& Policy::route_rng(unsigned lane) {
+  if (lane == 0) return rng_;  // fine: inside the lane-binding accessor
+  return lane_rng_;
+}
+
+unsigned Policy::route(unsigned at, unsigned lane) {
+  unsigned a = rng_.below(4);              // expect: off-lane-rng
+  unsigned b = route_rng(lane).below(4);   // fine: lane-bound accessor
+  unsigned c = lane_rng_.below(4);         // fine: lane-bound stream
+  return at + a + b + c;
+}
+
+struct MinPolicy : Policy {
+  unsigned route(unsigned at, unsigned lane) override;
+};
+
+unsigned MinPolicy::route(unsigned at, unsigned lane) {
+  (void)lane;
+  return at + rng_.below(8);  // expect: off-lane-rng
+}
+
+void Policy::on_inject() {
+  rng_.below(2);  // fine: serial caller owns the stream
+}

@@ -1,0 +1,26 @@
+// Fixture: calls into OFAR_SERIAL_ONLY functions from parallel-phase
+// code must be flagged, both directly and through an unannotated helper
+// (transitive reachability), with explicit and implicit receivers.
+
+struct Net {
+  OFAR_SERIAL_ONLY void deliver_events();
+  void helper();
+};
+
+void Net::helper() {
+  deliver_events();  // expect: serial-call
+}
+
+struct Engine {
+  OFAR_PARALLEL_PHASE void advance(Net& net);
+  OFAR_SERIAL_ONLY void commit(Net& net);
+};
+
+void Engine::advance(Net& net) {
+  net.deliver_events();  // expect: serial-call
+  net.helper();
+}
+
+void Engine::commit(Net& net) {
+  net.deliver_events();  // fine: serial caller
+}

@@ -1,0 +1,24 @@
+// Fixture: writes to OFAR_SERIAL_ONLY members from parallel-reachable
+// code must be flagged; shard-local members and serial callers are fine.
+
+struct Kernel {
+  OFAR_PARALLEL_PHASE void phase();
+  OFAR_SERIAL_ONLY void commit();
+  void mutate();
+  OFAR_SERIAL_ONLY unsigned long delivered_total_ = 0;
+  OFAR_SHARD_LOCAL unsigned long shard_count_ = 0;
+};
+
+void Kernel::phase() {
+  ++delivered_total_;  // expect: serial-write
+  shard_count_ += 1;   // fine: shard-local state
+  mutate();
+}
+
+void Kernel::mutate() {
+  delivered_total_ = 7;  // expect: serial-write
+}
+
+void Kernel::commit() {
+  ++delivered_total_;  // fine: serial caller
+}

@@ -1,0 +1,23 @@
+// Fixture: invoking the serial-only trace callback from a parallel phase
+// must be flagged (events belong in ShardState staging); the serial
+// commit path may fire it directly.
+
+#include <functional>
+
+struct TraceEvent {
+  int id;
+};
+
+struct Kernel {
+  OFAR_PARALLEL_PHASE void phase();
+  OFAR_SERIAL_ONLY void commit();
+  OFAR_SERIAL_ONLY std::function<void(const TraceEvent&)> tracer_;
+};
+
+void Kernel::phase() {
+  if (tracer_) tracer_(TraceEvent{1});  // expect: unstaged-trace
+}
+
+void Kernel::commit() {
+  if (tracer_) tracer_(TraceEvent{2});  // fine: serial emission
+}

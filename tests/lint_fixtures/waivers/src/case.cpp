@@ -1,0 +1,18 @@
+// Fixture: a `// lint: allow(<rule>)` comment on the offending line
+// suppresses exactly that rule at that site — other rules and other
+// lines still fire.
+
+struct Net {
+  OFAR_SERIAL_ONLY void deliver_events();
+};
+
+struct Engine {
+  OFAR_PARALLEL_PHASE void advance(Net& net);
+  OFAR_SERIAL_ONLY int total_ = 0;
+};
+
+void Engine::advance(Net& net) {
+  net.deliver_events();  // lint: allow(serial-call)
+  total_ = 1;            // lint: allow(serial-call) -- wrong rule: expect: serial-write
+  net.deliver_events();  // expect: serial-call
+}

@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads must be flagged everywhere (simulation state
+// must advance on Network::now()), including when the clock type is
+// laundered through a using-alias.
+
+#include <chrono>
+
+using WallClock = std::chrono::steady_clock;
+
+struct Timer {
+  void tick();
+};
+
+void Timer::tick() {
+  auto a = std::chrono::steady_clock::now();  // expect: wall-clock
+  auto b = WallClock::now();                  // expect: wall-clock
+  (void)a;
+  (void)b;
+}

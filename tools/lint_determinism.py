@@ -22,8 +22,16 @@ quietly break that property when they sneak into src/:
 A finding can be waived for a reviewed reason with a trailing
 `// lint: allow(<rule>)` comment on the offending line.
 
-Usage: tools/lint_determinism.py [root]   (root defaults to the repo root)
-Exits 0 when clean, 1 with file:line diagnostics otherwise.
+`--list-waivers` prints every waiver site with its rule, and marks the
+ones that no longer suppress anything (the pattern stopped matching, or
+the rule name is unknown) as STALE so they can be deleted. The semantic
+analyzer in tools/ofar_lint has the same mode (`--stale-waivers`) for
+its AST-level rules.
+
+Usage: tools/lint_determinism.py [--list-waivers] [root]
+       (root defaults to the repo root)
+Exits 0 when clean, 1 with file:line diagnostics otherwise; with
+--list-waivers, exits 1 only when a stale waiver remains.
 """
 
 import os
@@ -132,21 +140,72 @@ def lint_file(root, relpath):
     return findings
 
 
-def main():
-    root = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
-        os.path.dirname(os.path.abspath(__file__)), os.pardir
-    )
-    root = os.path.abspath(root)
-    findings = []
-    checked = 0
+def _source_files(root):
     for dirpath, dirnames, filenames in os.walk(os.path.join(root, "src")):
         dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
         for name in sorted(filenames):
-            if not name.endswith((".hpp", ".cpp")):
-                continue
-            rel = os.path.relpath(os.path.join(dirpath, name), root)
-            findings.extend(lint_file(root, rel))
-            checked += 1
+            if name.endswith((".hpp", ".cpp")):
+                yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def list_waivers(root):
+    """Prints every `// lint: allow(...)` site; a waiver whose rule no
+    longer matches the line (or names no known rule) is STALE and should
+    be deleted. Returns the stale count."""
+    patterns = {rule: pattern for rule, pattern, _prefix, _msg in RULES}
+    stale = 0
+    total = 0
+    for rel in _source_files(root):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                for m in SUPPRESS.finditer(line):
+                    total += 1
+                    rule = m.group("rule")
+                    code = line.split("//", 1)[0]
+                    pattern = patterns.get(rule)
+                    if pattern is None:
+                        if _is_ast_rule(rule):
+                            # ofar_lint owns the AST-level rule names;
+                            # its --stale-waivers mode judges these.
+                            print(f"{rel}:{lineno}: allow({rule}) "
+                                  "[ofar_lint rule]")
+                        else:
+                            print(f"{rel}:{lineno}: allow({rule}) STALE "
+                                  "(unknown rule)")
+                            stale += 1
+                        continue
+                    if pattern.search(code):
+                        print(f"{rel}:{lineno}: allow({rule})")
+                    else:
+                        print(f"{rel}:{lineno}: allow({rule}) STALE "
+                              "(pattern no longer matches this line)")
+                        stale += 1
+    print(f"{total} waiver(s), {stale} stale")
+    return stale
+
+
+def _is_ast_rule(rule):
+    return rule in {
+        "serial-call", "serial-write", "cross-shard-write", "off-lane-rng",
+        "unordered-iter", "unstaged-trace",
+    }
+
+
+def main():
+    argv = [a for a in sys.argv[1:]]
+    flag_list = "--list-waivers" in argv
+    argv = [a for a in argv if a != "--list-waivers"]
+    root = argv[0] if argv else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir
+    )
+    root = os.path.abspath(root)
+    if flag_list:
+        return 1 if list_waivers(root) else 0
+    findings = []
+    checked = 0
+    for rel in _source_files(root):
+        findings.extend(lint_file(root, rel))
+        checked += 1
     for finding in findings:
         print(finding)
     if findings:
