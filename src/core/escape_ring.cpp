@@ -1,5 +1,6 @@
 #include "core/escape_ring.hpp"
 
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 
 namespace ofar {
@@ -15,21 +16,24 @@ RouteChoice EscapeRingControl::ring_step(Network& net, RouterId at,
   return RouteChoice::to(ro.port, vc);
 }
 
-RouteChoice EscapeRingControl::ride(Network& net, RouterId at, Packet& pkt,
-                                    RouteProvenance* prov) const {
+RouteChoice EscapeRingControl::ride(RouteContext& ctx) const {
+  Network& net = ctx.net;
+  Packet& pkt = ctx.pkt;
+  const RouterId at = ctx.at;
+  RouteProvenance* const prov = ctx.prov;
+  CreditView& view = ctx.view;
   const Dragonfly& topo = net.topo();
-  const Router& r = net.router(at);
 
   if (at == pkt.dst_router) {
     // Delivery from the ring: request the ejection port.
     const PortId eject = topo.node_port(topo.node_slot(pkt.dst));
     if (prov) {
       prov->min_port = eject;
-      prov->q_min = static_cast<float>(net.base_occupancy(r, eject));
+      prov->q_min = static_cast<float>(view.base_occupancy(eject));
     }
-    if (net.base_available(r, eject)) {
+    if (view.base_available(eject)) {
       VcId vc;
-      net.best_base_vc(r, eject, vc);
+      view.best_base_vc(eject, vc);
       RouteChoice c = RouteChoice::to(eject, vc);
       c.exit_ring = true;
       if (prov) {
@@ -48,11 +52,11 @@ RouteChoice EscapeRingControl::ride(Network& net, RouterId at, Packet& pkt,
     const PortId min_port = min_port_to_router(net, at, pkt.dst_router);
     if (prov) {
       prov->min_port = min_port;
-      prov->q_min = static_cast<float>(net.base_occupancy(r, min_port));
+      prov->q_min = static_cast<float>(view.base_occupancy(min_port));
     }
-    if (net.base_available(r, min_port)) {
+    if (view.base_available(min_port)) {
       VcId vc;
-      net.best_base_vc(r, min_port, vc);
+      view.best_base_vc(min_port, vc);
       RouteChoice c = RouteChoice::to(min_port, vc);
       c.exit_ring = true;
       if (prov) {
@@ -70,14 +74,13 @@ RouteChoice EscapeRingControl::ride(Network& net, RouterId at, Packet& pkt,
   return c;
 }
 
-RouteChoice EscapeRingControl::enter(Network& net, RouterId at,
-                                     RouteProvenance* prov) const {
+RouteChoice EscapeRingControl::enter(RouteContext& ctx) const {
   // Bubble condition: the next ring buffer must fit this packet PLUS one
   // more (the bubble), so the ring can always drain.
-  RouteChoice c = ring_step(net, at, 2 * packet_size_);
+  RouteChoice c = ring_step(ctx.net, ctx.at, 2 * packet_size_);
   if (c.valid) c.enter_ring = true;
-  if (prov)
-    prov->condition =
+  if (ctx.prov)
+    ctx.prov->condition =
         c.valid ? RouteCondition::kRingEnter : RouteCondition::kWaitStarved;
   return c;
 }

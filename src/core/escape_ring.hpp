@@ -27,19 +27,17 @@ class EscapeRingControl {
   u32 max_exits() const noexcept { return max_exits_; }
 
   /// Choice for a head packet that is currently riding the ring at router
-  /// `at`: eject at the destination router, exit to the minimal path when
+  /// ctx.at: eject at the destination router, exit to the minimal path when
   /// free and exits remain, otherwise continue along the ring (bubble
-  /// permitting) or wait. `prov`, when non-null, records which ring rule
+  /// permitting) or wait. ctx.prov, when non-null, records which ring rule
   /// fired (kRingExit / kRingRide / kWaitBusy).
-  OFAR_PARALLEL_PHASE RouteChoice ride(Network& net, RouterId at,
-                                       Packet& pkt,
-                                       RouteProvenance* prov = nullptr) const;
+  OFAR_PARALLEL_PHASE RouteChoice ride(RouteContext& ctx) const;
 
-  /// Ring-entry choice for a canonical packet at router `at`; invalid when
-  /// the bubble condition fails or the ring output is busy. `prov` records
-  /// kRingEnter on success, kWaitStarved when the bubble denies entry.
-  OFAR_PARALLEL_PHASE RouteChoice enter(
-      Network& net, RouterId at, RouteProvenance* prov = nullptr) const;
+  /// Ring-entry choice for a canonical packet at router ctx.at; invalid
+  /// when the bubble condition fails or the ring output is busy. ctx.prov
+  /// records kRingEnter on success, kWaitStarved when the bubble denies
+  /// entry.
+  OFAR_PARALLEL_PHASE RouteChoice enter(RouteContext& ctx) const;
 
  private:
   /// Ring-output request with `need` phits of escape-VC credit.

@@ -41,9 +41,7 @@ class OfarPolicy final : public RoutingPolicy {
     return allow_local_ ? "OFAR" : "OFAR-L";
   }
 
-  RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane,
-                    RouteProvenance* prov = nullptr) override;
+  RouteChoice route(RouteContext& ctx) override;
   void bind_lanes(u32 lanes) override;
 
  private:
@@ -63,14 +61,16 @@ class OfarPolicy final : public RoutingPolicy {
                                 : thresholds_.th_nonmin_static;
   }
 
-  /// Appends eligible local-misroute candidate ports at router `at`.
+  /// Appends eligible local-misroute candidate ports at router `at`;
+  /// credit/occupancy checks go through the memoized view (bound to `at`).
   /// `gap_ceiling` is Q_min - min_gap for the decision in flight.
-  void collect_local(Network& net, RouterId at, PortId min_port, double th,
-                     double gap_ceiling, std::vector<PortId>& out) const;
+  void collect_local(const Network& net, CreditView& view, RouterId at,
+                     PortId min_port, double th, double gap_ceiling,
+                     std::vector<PortId>& out) const;
   /// Appends eligible global-misroute candidate ports at router `at`.
-  void collect_global(Network& net, RouterId at, PortId min_port,
-                      GroupId dst_group, double th, double gap_ceiling,
-                      std::vector<PortId>& out) const;
+  void collect_global(const Network& net, CreditView& view, RouterId at,
+                      PortId min_port, GroupId dst_group, double th,
+                      double gap_ceiling, std::vector<PortId>& out) const;
 
   MisrouteThresholds thresholds_;
   EscapeRingControl ring_;

@@ -1,12 +1,15 @@
 #include "routing/minimal.hpp"
 
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 
 namespace ofar {
 
-RouteChoice MinimalPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/,
-                                 RouteProvenance* prov) {
+RouteChoice MinimalPolicy::route(RouteContext& ctx) {
+  Network& net = ctx.net;
+  Packet& pkt = ctx.pkt;
+  const RouterId at = ctx.at;
+  RouteProvenance* const prov = ctx.prov;
   const Dragonfly& topo = net.topo();
   const PortId out = at == pkt.dst_router
                          ? topo.node_port(topo.node_slot(pkt.dst))
@@ -15,7 +18,7 @@ RouteChoice MinimalPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
   const OutputPort& port = r.outputs[out];
   if (prov) {
     prov->min_port = out;
-    prov->q_min = static_cast<float>(net.base_occupancy(r, out));
+    prov->q_min = static_cast<float>(ctx.view.base_occupancy(out));
     prov->chosen_occ = prov->q_min;
   }
   if (!port.wired() || port.busy()) {

@@ -14,9 +14,7 @@ class MinimalPolicy final : public RoutingPolicy {
  public:
   const char* name() const noexcept override { return "MIN"; }
 
-  RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane,
-                    RouteProvenance* prov = nullptr) override;
+  RouteChoice route(RouteContext& ctx) override;
 };
 
 }  // namespace ofar

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 
 namespace ofar {
@@ -35,9 +36,12 @@ void ParPolicy::on_inject(Network&, Packet& pkt, RouterId) {
   pkt.valiant_done = true;
 }
 
-RouteChoice ParPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                             VcId /*in_vc*/, Packet& pkt, u32 lane,
-                             RouteProvenance* prov) {
+RouteChoice ParPolicy::route(RouteContext& ctx) {
+  Network& net = ctx.net;
+  Packet& pkt = ctx.pkt;
+  const RouterId at = ctx.at;
+  const u32 lane = ctx.lane;
+  RouteProvenance* const prov = ctx.prov;
   const Dragonfly& topo = net.topo();
 
   // Progressive re-evaluation: still in the source group, no global hop
@@ -63,7 +67,7 @@ RouteChoice ParPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
   const OutputPort& port = r.outputs[out];
   if (prov) {
     prov->min_port = out;
-    prov->q_min = static_cast<float>(net.base_occupancy(r, out));
+    prov->q_min = static_cast<float>(ctx.view.base_occupancy(out));
     prov->chosen_occ = prov->q_min;
   }
   if (!port.wired() || port.busy()) {

@@ -24,9 +24,12 @@ class ParPolicy final : public ValiantPolicy {
   const char* name() const noexcept override { return "PAR"; }
 
   void on_inject(Network& net, Packet& pkt, RouterId at) override;
-  RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane,
-                    RouteProvenance* prov = nullptr) override;
+  RouteChoice route(RouteContext& ctx) override;
+
+  /// PAR's in-transit re-evaluation draws RNG and rewrites the packet's
+  /// Valiant state before it looks at port availability, so even a failing
+  /// route() has observable effects — the kernel must not skip it.
+  bool blocked_route_is_pure() const noexcept override { return false; }
 
  private:
   i32 bias_;

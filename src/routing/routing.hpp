@@ -21,6 +21,7 @@
 namespace ofar {
 
 class Network;
+class CreditView;
 
 enum class MisrouteKind : u8 { kNone, kLocal, kGlobal };
 
@@ -90,6 +91,29 @@ struct RouteChoice {
   }
 };
 
+/// Everything a per-cycle routing decision needs, bundled into one struct
+/// so new inputs (like the memoized credit view) stop rippling through
+/// every policy override's signature. Built fresh per head packet by the
+/// allocation scan; `view` is already bound to router `at` when route()
+/// runs, so policies query credits/occupancy through it (same values as
+/// the Network::base_* queries, computed once per router per cycle).
+struct RouteContext {
+  Network& net;
+  CreditView& view;  ///< memoized per-(router, cycle) credit snapshot
+  RouterId at;
+  PortId in_port;
+  VcId in_vc;
+  Packet& pkt;
+  /// Shard lane of the parallel allocation phase (DESIGN.md §10). Policies
+  /// that draw randomness inside route() must draw from the per-lane RNG so
+  /// concurrent shards never share a stream; lane 0 is the sequential one.
+  u32 lane;
+  /// When non-null, the policy records the evidence behind the decision
+  /// (packet tracing); filling it must not change the decision or consume
+  /// extra RNG draws.
+  RouteProvenance* prov = nullptr;
+};
+
 class RoutingPolicy {
  public:
   virtual ~RoutingPolicy() = default;
@@ -102,24 +126,23 @@ class RoutingPolicy {
   OFAR_SERIAL_ONLY virtual void on_inject(Network& net, Packet& pkt,
                                           RouterId at);
 
-  /// Desired output for the head packet of (in_port, in_vc) at router `at`.
-  /// Must only return outputs that are grantable right now: output port not
-  /// busy and enough credits on the chosen VC (the whole packet for VCT, one
-  /// extra packet — the bubble — when enter_ring is set).
-  ///
-  /// `lane` identifies the shard calling during the parallel allocation
-  /// phase of the sharded cycle kernel (DESIGN.md §10). Policies that draw
-  /// randomness inside route() (OFAR's candidate pick, PAR's UGAL tiebreak)
-  /// must draw from a per-lane RNG so concurrent shards never share a
-  /// stream; lane 0 is always the legacy sequential stream. Policies must
-  /// not mutate any other shared state from route().
-  ///
-  /// `prov`, when non-null, asks the policy to record the evidence behind
-  /// the decision (packet tracing); filling it must not change the
-  /// decision or consume extra RNG draws.
-  OFAR_PARALLEL_PHASE virtual RouteChoice route(
-      Network& net, RouterId at, PortId in_port, VcId in_vc, Packet& pkt,
-      u32 lane, RouteProvenance* prov = nullptr) = 0;
+  /// Desired output for the head packet of (ctx.in_port, ctx.in_vc) at
+  /// router ctx.at. Must only return outputs that are grantable right now:
+  /// output port not busy and enough credits on the chosen VC (the whole
+  /// packet for VCT, one extra packet — the bubble — when enter_ring is
+  /// set). Policies must not mutate shared state from route(); randomness
+  /// comes from the per-lane RNG selected by ctx.lane (see RouteContext).
+  OFAR_PARALLEL_PHASE virtual RouteChoice route(RouteContext& ctx) = 0;
+
+  /// True when a route() call that fails (returns RouteChoice::none()) is
+  /// guaranteed to draw no RNG and leave the packet untouched. The
+  /// saturated kernel relies on this to skip a router's whole request scan
+  /// once it knows no output could be granted — sound only if the skipped
+  /// calls would have been observation-free. Override to return false for
+  /// policies that commit side effects before checking output availability
+  /// (PAR re-draws its UGAL comparison and rewrites the packet's Valiant
+  /// state even when the chosen port then turns out blocked).
+  virtual bool blocked_route_is_pure() const noexcept { return true; }
 
   /// Announces the number of route() lanes the kernel will use (the shard
   /// count). Called once at Network construction, before any traffic.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 
 namespace ofar {
@@ -57,15 +58,17 @@ void ValiantPolicy::on_inject(Network& net, Packet& pkt, RouterId at) {
   assign_intermediate(net, pkt, at);
 }
 
-RouteChoice ValiantPolicy::route(Network& net, RouterId at, PortId /*in_port*/,
-                                 VcId /*in_vc*/, Packet& pkt, u32 /*lane*/,
-                                 RouteProvenance* prov) {
+RouteChoice ValiantPolicy::route(RouteContext& ctx) {
+  Network& net = ctx.net;
+  Packet& pkt = ctx.pkt;
+  const RouterId at = ctx.at;
+  RouteProvenance* const prov = ctx.prov;
   const PortId out = valiant_next_port(net, at, pkt);
   const Router& r = net.router(at);
   const OutputPort& port = r.outputs[out];
   if (prov) {
     prov->min_port = out;
-    prov->q_min = static_cast<float>(net.base_occupancy(r, out));
+    prov->q_min = static_cast<float>(ctx.view.base_occupancy(out));
     prov->chosen_occ = prov->q_min;
   }
   const RouteCondition go = pkt.valiant_done ? RouteCondition::kMinimal

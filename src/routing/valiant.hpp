@@ -23,9 +23,7 @@ class ValiantPolicy : public RoutingPolicy {
   const char* name() const noexcept override { return "VAL"; }
 
   void on_inject(Network& net, Packet& pkt, RouterId at) override;
-  RouteChoice route(Network& net, RouterId at, PortId in_port, VcId in_vc,
-                    Packet& pkt, u32 lane,
-                    RouteProvenance* prov = nullptr) override;
+  RouteChoice route(RouteContext& ctx) override;
   void bind_lanes(u32 lanes) override;
 
  protected:

@@ -5,8 +5,23 @@
 // (paper uses 3). Grants are per packet ("batch"): the winner streams its
 // whole packet before the ports rejoin arbitration.
 //
-// The allocator object owns reusable scratch buffers — allocation runs for
-// every router every cycle, so it must not touch the heap in steady state.
+// Two implementations of the identical arbitration:
+//
+//   * SeparableAllocator — the hot-path kernel. Request/match state is kept
+//     in packed bitmask words (one u64 of input ports per output, one u8 of
+//     VCs per input) scanned with countr_zero, so an arbiter round is a few
+//     word operations instead of nested per-port vector walks. Equivalence
+//     holds because LRS picks are order-independent (strict min over
+//     (last_grant, index) — see LrsArbiter::pick_mask) and stage 1 forwards
+//     at most one request per input per iteration, making stage-2 outputs
+//     independent within an iteration.
+//   * ReferenceAllocator — the original per-port-vector implementation,
+//     retained verbatim as the executable specification. Not used on the
+//     hot path; tests/test_alloc_equiv.cpp pits the packed kernel against
+//     it over randomized and exhaustive-small request matrices.
+//
+// Both own reusable scratch — allocation runs for every active router every
+// cycle, so neither touches the heap in steady state.
 #pragma once
 
 #include <vector>
@@ -26,12 +41,17 @@ struct AllocRequest {
   bool granted = false;
 };
 
-// Shard-local: each router owns one allocator instance, and a router is
-// only ever advanced by its owning shard, so the scratch arrays below
-// are never shared across workers.
+// Shard-local: each shard owns one allocator instance (in its ShardState),
+// and a router is only ever advanced by its owning shard, so the scratch
+// arrays below are never shared across workers.
 class OFAR_SHARD_LOCAL SeparableAllocator {
  public:
-  /// `max_ports` = ports per router (scratch sizing).
+  /// Width of the per-input VC request bitmask; matches the "input VC
+  /// bitmask is 8 bits wide" construction check (Router::input_mask).
+  static constexpr u32 kMaxVcs = 8;
+
+  /// `max_ports` = ports per router (scratch sizing); must be <= 64 so an
+  /// input-port set packs into one u64 (checked at Network construction).
   explicit SeparableAllocator(u32 max_ports);
 
   /// Runs the separable allocation over `reqs` (all requests of one router
@@ -39,6 +59,27 @@ class OFAR_SHARD_LOCAL SeparableAllocator {
   /// router's LRS arbiter state. At most one grant per input port and per
   /// output port. Parallel-legal: each shard owns one allocator (in its
   /// ShardState) and only passes routers of its own shard.
+  OFAR_PARALLEL_PHASE void run(Router& router,
+                               std::vector<AllocRequest>& reqs,
+                               u32 iterations, Cycle now);
+
+ private:
+  u32 max_ports_ = 0;
+  // Request matrix, rebuilt per run (lazily cleared via the in-use masks):
+  std::vector<u16> req_at_;   // [in * kMaxVcs + vc] -> index into reqs
+  std::vector<u8> vc_req_;    // [in] -> bitmask of requesting VCs
+  // Stage-1 forwards of the current iteration:
+  std::vector<u64> fwd_mask_;  // [out] -> bitmask of forwarding input ports
+  std::vector<u16> fwd_req_;   // [out * max_ports + in] -> index into reqs
+};
+
+// The pre-packed implementation, kept as the executable spec for the
+// equivalence suite (see file comment). Shard-local for the same ownership
+// reason as SeparableAllocator, though only tests construct it today.
+class OFAR_SHARD_LOCAL ReferenceAllocator {
+ public:
+  explicit ReferenceAllocator(u32 max_ports);
+
   OFAR_PARALLEL_PHASE void run(Router& router,
                                std::vector<AllocRequest>& reqs,
                                u32 iterations, Cycle now);

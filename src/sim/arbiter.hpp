@@ -5,6 +5,7 @@
 // (ties broken by lower index), which is starvation-free.
 #pragma once
 
+#include <bit>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,29 @@ class LrsArbiter {
       if (last_grant_[c] < last_grant_[best] ||
           (last_grant_[c] == last_grant_[best] && c < best))
         best = c;
+    }
+    return best;
+  }
+
+  /// pick() over a packed requester bitmask (bit i = candidate i requests).
+  /// Identical selection: the scan runs in ascending index order with a
+  /// strict `<` on last-grant cycles, so ties keep the lower index exactly
+  /// like the span overload. This is the hot-path form used by the packed
+  /// separable allocator (one u64 per port instead of a candidate list).
+  u32 pick_mask(u64 requesters) const {
+    OFAR_DCHECK(requesters != 0);
+    u32 best = static_cast<u32>(std::countr_zero(requesters));
+    OFAR_DCHECK(best < last_grant_.size());
+    Cycle best_cycle = last_grant_[best];
+    requesters &= requesters - 1;
+    while (requesters != 0) {
+      const u32 c = static_cast<u32>(std::countr_zero(requesters));
+      requesters &= requesters - 1;
+      OFAR_DCHECK(c < last_grant_.size());
+      if (last_grant_[c] < best_cycle) {
+        best = c;
+        best_cycle = last_grant_[c];
+      }
     }
     return best;
   }

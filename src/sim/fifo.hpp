@@ -6,7 +6,10 @@
 // the head phit is present (virtual cut-through) and never underruns.
 //
 // Storage is a flat power-of-two ring buffer (no heap traffic per packet):
-// this FIFO sits on the per-cycle hot path of every router.
+// this FIFO sits on the per-cycle hot path of every router. The ring either
+// lives in the owning shard's arena (the simulator: all FIFO rings of a
+// shard share one contiguous Entry block — see sim/flat_state.hpp) or is
+// owned by the FIFO itself (standalone construction in tests/fixtures).
 #pragma once
 
 #include <memory>
@@ -22,28 +25,56 @@ namespace ofar {
 // serial delivery commit target the destination router's shard state).
 class OFAR_SHARD_LOCAL VcFifo {
  public:
-  VcFifo() = default;
-  explicit VcFifo(u32 capacity_phits) : capacity_(capacity_phits) {
-    // Worst case every queued packet is a single phit, so capacity_ entries
-    // always suffice; round up to a power of two for cheap masking.
+  /// One queued packet of the ring. `arrived`/`sent` are u16: the FIFO
+  /// capacity is bounded to 0xFFFF phits at construction, so per-packet
+  /// phit counts always fit (a packet never exceeds its FIFO's capacity).
+  struct Entry {
+    PacketId packet;
+    u16 arrived;  // phits physically present or already forwarded
+    u16 sent;     // phits forwarded downstream
+  };
+
+  /// Ring slots needed for a FIFO of `capacity_phits`: worst case every
+  /// queued packet is a single phit, so capacity+1 entries always suffice;
+  /// rounded up to a power of two for cheap masking.
+  static u32 slots_for(u32 capacity_phits) noexcept {
     u32 slots = 2;
     while (slots < capacity_phits + 1) slots <<= 1;
-    mask_ = slots - 1;
-    entries_ = std::make_unique<Entry[]>(slots);
+    return slots;
+  }
+
+  VcFifo() = default;
+
+  /// Owning mode (tests, standalone fixtures): allocates its own ring.
+  explicit VcFifo(u32 capacity_phits)
+      : VcFifo(capacity_phits, nullptr) {
+    owned_ = std::make_unique<Entry[]>(slots_for(capacity_phits));
+    entries_ = owned_.get();
+  }
+
+  /// Arena mode: `slots` must point at slots_for(capacity_phits) zeroed
+  /// entries that outlive this FIFO (the shard arena guarantees both).
+  VcFifo(u32 capacity_phits, Entry* slots)
+      : capacity_(capacity_phits),
+        mask_(slots_for(capacity_phits) - 1),
+        entries_(slots) {
+    OFAR_DCHECK(capacity_phits <= 0xFFFFu);  // Entry::arrived/sent are u16
   }
 
   VcFifo(VcFifo&&) = default;
   VcFifo& operator=(VcFifo&&) = default;
-  VcFifo(const VcFifo& other) : VcFifo(other.capacity_) {
-    OFAR_CHECK_MSG(other.empty(), "VcFifo copy only supported when empty");
-  }
-  VcFifo& operator=(const VcFifo& other) {
-    OFAR_CHECK_MSG(other.empty(), "VcFifo copy only supported when empty");
-    *this = VcFifo(other.capacity_);
-    return *this;
-  }
+  // No copies: an arena-backed FIFO cannot duplicate its ring, and the old
+  // copy-only-when-empty semantics surprised callers. Use clone_shape().
+  VcFifo(const VcFifo&) = delete;
+  VcFifo& operator=(const VcFifo&) = delete;
+
+  /// Explicit replacement for the removed copy operations: a fresh, empty,
+  /// self-owning FIFO with the same capacity (contents are never copied).
+  VcFifo clone_shape() const { return VcFifo(capacity_); }
 
   u32 capacity() const noexcept { return capacity_; }
+  /// Ring storage this FIFO indexes into (arena slice or owned block).
+  const Entry* slots() const noexcept { return entries_; }
   bool empty() const noexcept { return head_ == tail_; }
   u32 num_packets() const noexcept { return tail_ - head_; }
 
@@ -81,6 +112,9 @@ class OFAR_SHARD_LOCAL VcFifo {
   /// full packet; space was checked by the caller against this FIFO).
   void push_whole_packet(PacketId id, u32 size) {
     OFAR_DCHECK(num_packets() <= mask_);
+    // capacity_ <= 0xFFFF (checked at construction), so a size that fits
+    // the buffer also fits Entry::arrived — the cast below cannot truncate.
+    OFAR_DCHECK(size <= capacity_);
     entries_[tail_ & mask_] = {id, static_cast<u16>(size), 0};
     ++tail_;
     stored_ += size;
@@ -102,18 +136,13 @@ class OFAR_SHARD_LOCAL VcFifo {
   }
 
  private:
-  struct Entry {
-    PacketId packet;
-    u16 arrived;  // phits physically present or already forwarded
-    u16 sent;     // phits forwarded downstream
-  };
-
   u32 capacity_ = 0;
   u32 stored_ = 0;
   u32 head_ = 0;  // monotonically increasing; index via & mask_
   u32 tail_ = 0;
   u32 mask_ = 0;
-  std::unique_ptr<Entry[]> entries_;
+  Entry* entries_ = nullptr;          // ring (arena slice or owned_)
+  std::unique_ptr<Entry[]> owned_;    // set only in owning mode
 };
 
 }  // namespace ofar

@@ -1,0 +1,24 @@
+#include "sim/flat_state.hpp"
+
+#include "sim/network.hpp"
+
+namespace ofar {
+
+void CreditView::init(const Network& net) {
+  const u32 ports = net.topo().ports_per_router();
+  packet_size_ = net.config().packet_size;
+  base_counts_.assign(ports, 0);
+  for (PortId port = 0; port < ports; ++port) {
+    u32 first = 0, count = 0;
+    // base_vc_range depends only on the port's class, which is the same for
+    // every router of the dragonfly — router 0 stands in for all of them.
+    net.base_vc_range(0, port, first, count);
+    OFAR_DCHECK(first == 0);
+    base_counts_[port] = count;
+  }
+  snaps_.assign(ports, PortSnap{});
+  epoch_ = 0;
+  r_ = nullptr;
+}
+
+}  // namespace ofar

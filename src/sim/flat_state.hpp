@@ -1,0 +1,265 @@
+// Flat per-shard state arenas and the narrow view types in front of them.
+//
+// The saturated cycle kernel spends almost all of its time walking per-VC
+// FIFO/credit state (see DESIGN.md §10 "Memory layout"). This module packs
+// that hot working set into per-shard SoA arenas:
+//
+//   * ShardArena — one contiguous block per shard for FIFO control words,
+//     FIFO ring slots, head-busy flags and credit counters. Routers hold
+//     Span views into the arena, so a shard's allocation scan walks a few
+//     flat arrays instead of hopping between per-router heap vectors.
+//   * HeadView — read-only façade over one input port's per-VC head state;
+//     the auditor, telemetry and deadlock forensics consume FIFO state
+//     through it, so the packed layout can change freely underneath them.
+//   * CreditView — per-shard memoized credit/occupancy snapshot serving the
+//     routing policies' base-VC queries (base_available / base_occupancy /
+//     best_base_vc) from one cached pass per (router, cycle).
+//
+// CreditView memoization is exact, not approximate: within one router's
+// request-collection scan no credit counter or output-busy flag can change
+// (grants are decided by the allocator and committed only after the scan),
+// so every route() call of that scan would recompute identical values.
+// Digests are therefore bit-identical with and without the cache.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/phase.hpp"
+#include "common/span.hpp"
+#include "common/types.hpp"
+#include "sim/fifo.hpp"
+#include "sim/router.hpp"
+
+namespace ofar {
+
+class Network;
+
+// Shard-local: one arena per ShardState; only the owning shard touches the
+// backing storage during parallel phases (via the Router spans bound here).
+struct OFAR_SHARD_LOCAL ShardArena {
+  std::vector<VcFifo> fifos;              ///< control blocks, router/port/VC-major
+  std::vector<VcFifo::Entry> fifo_slots;  ///< ring storage backing `fifos`
+  std::vector<u8> head_busy;              ///< parallel to `fifos`
+  std::vector<u32> credits;               ///< output credit counters
+  std::vector<u32> credit_caps;           ///< parallel to `credits`
+
+  // Pre-reserve contract: each vector is reserved to its exact final size
+  // before the first bind_* call — the Router spans point into the arena
+  // and would dangle across a reallocation. The bind helpers DCHECK it.
+
+  void reserve_input_state(std::size_t total_vcs, std::size_t total_slots) {
+    fifos.reserve(total_vcs);
+    head_busy.reserve(total_vcs);
+    fifo_slots.reserve(total_slots);
+  }
+
+  void reserve_credit_state(std::size_t total_vcs) {
+    credits.reserve(total_vcs);
+    credit_caps.reserve(total_vcs);
+  }
+
+  /// Appends `count` FIFOs of `capacity` phits (control block + ring slots)
+  /// and binds `r.inputs[port]`'s views onto them.
+  void bind_inputs(Router& r, PortId port, u32 count, u32 capacity) {
+    OFAR_DCHECK(fifos.size() + count <= fifos.capacity());
+    OFAR_DCHECK(head_busy.size() + count <= head_busy.capacity());
+    const std::size_t at = fifos.size();
+    for (u32 v = 0; v < count; ++v) {
+      const u32 slots = VcFifo::slots_for(capacity);
+      OFAR_DCHECK(fifo_slots.size() + slots <= fifo_slots.capacity());
+      const std::size_t s = fifo_slots.size();
+      fifo_slots.resize(s + slots);  // value-initialised ring slice
+      fifos.emplace_back(capacity, fifo_slots.data() + s);
+      head_busy.push_back(0);
+    }
+    r.inputs[port].vcs = Span<VcFifo>(fifos.data() + at, count);
+    r.inputs[port].head_busy = Span<u8>(head_busy.data() + at, count);
+  }
+
+  /// Appends `count` credit counters initialised to `value` and binds
+  /// `r.outputs[port]`'s views onto them.
+  void bind_credits(Router& r, PortId port, u32 count, u32 value) {
+    OFAR_DCHECK(credits.size() + count <= credits.capacity());
+    const std::size_t at = credits.size();
+    for (u32 v = 0; v < count; ++v) {
+      credits.push_back(value);
+      credit_caps.push_back(value);
+    }
+    r.outputs[port].credits = Span<u32>(credits.data() + at, count);
+    r.outputs[port].credit_cap = Span<u32>(credit_caps.data() + at, count);
+  }
+};
+
+/// Read-only view over one input port's per-VC head state. Consumers that
+/// inspect FIFO internals without driving the simulation (auditor, metrics,
+/// wait-graph forensics, tests) go through this façade instead of reaching
+/// into VcFifo directly, which keeps them stable across layout changes.
+class HeadView {
+ public:
+  explicit HeadView(const InputPort& in) noexcept : in_(&in) {}
+
+  u32 num_vcs() const noexcept { return in_->vcs.size(); }
+  bool empty(VcId v) const noexcept { return in_->vcs[v].empty(); }
+  u32 num_packets(VcId v) const noexcept { return in_->vcs[v].num_packets(); }
+  u32 stored_phits(VcId v) const noexcept { return in_->vcs[v].stored_phits(); }
+  u32 capacity(VcId v) const noexcept { return in_->vcs[v].capacity(); }
+  PacketId head(VcId v) const noexcept { return in_->vcs[v].head(); }
+  u32 head_arrived(VcId v) const noexcept { return in_->vcs[v].head_arrived(); }
+  u32 head_sent(VcId v) const noexcept { return in_->vcs[v].head_sent(); }
+  bool head_in_flight(VcId v) const noexcept { return in_->head_busy[v] != 0; }
+  /// Head present, fully routable, and not mid-transfer (== has_head).
+  bool routable(VcId v) const noexcept { return in_->has_head(v); }
+
+ private:
+  const InputPort* in_;
+};
+
+/// Memoized per-(router, cycle) snapshot of the base-VC credit queries the
+/// routing policies issue (Network::base_available / base_occupancy /
+/// best_base_vc). bind() is O(1) — an epoch bump — and each output port is
+/// summarised at most once per bind in a single pass over its credit span.
+//
+// Shard-local: each ShardState owns one view; route() calls of the owning
+// shard's allocation scan are the only readers/writers.
+class OFAR_SHARD_LOCAL CreditView {
+ public:
+  /// Captures the topology-invariant shape (per-port base-VC counts, packet
+  /// size). Call once after Network construction; defined in flat_state.cpp.
+  void init(const Network& net);
+
+  /// Rebinds the view to `r` and invalidates all memoized port snapshots.
+  void bind(const Router& r) noexcept {
+    r_ = &r;
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: stamps from 4G binds ago could collide
+      for (PortSnap& s : snaps_) {
+        s.stamp = 0;
+        s.occ_stamp = 0;
+      }
+      mask_stamp_ = 0;
+      epoch_ = 1;
+    }
+  }
+
+  const Router& router() const noexcept { return *r_; }
+
+  /// Mirrors Network::base_available: wired, transfer-idle, and some base
+  /// VC can hold a whole packet.
+  bool base_available(PortId port) noexcept {
+    return snap(port).avail != 0;
+  }
+
+  /// Mirrors Network::base_occupancy over the port's base VC range. The
+  /// division is deferred to first query and memoized: refresh() only sums
+  /// integers, so ports summarised for the availability mask but never
+  /// occupancy-checked (the common case) pay no floating-point work.
+  double base_occupancy(PortId port) noexcept {
+    PortSnap& s = snaps_[port];
+    if (s.stamp != epoch_) refresh(port, s);
+    if (s.occ_stamp != epoch_) {
+      s.occ = s.cap == 0 ? 1.0
+                         : 1.0 - static_cast<double>(s.free) /
+                                     static_cast<double>(s.cap);
+      s.occ_stamp = epoch_;
+    }
+    return s.occ;
+  }
+
+  /// Mirrors Network::best_base_vc (most credits among base VCs with room
+  /// for a whole packet). Only meaningful on ports with a base range.
+  bool best_base_vc(PortId port, VcId& vc) noexcept {
+    const PortSnap& s = snap(port);
+    vc = s.best_vc;
+    return s.has_vc != 0;
+  }
+
+  /// True when no base VC can hold a whole packet regardless of busy state
+  /// (the OFAR starvation test that gates escape-ring entry).
+  bool base_starved(PortId port) noexcept {
+    return snap(port).has_vc == 0;
+  }
+
+  /// Bitmask over ports with base_available() — bit p set iff port p could
+  /// accept a whole packet right now. Computed at most once per bind (one
+  /// refresh pass over every port); candidate collection iterates its set
+  /// bits instead of probing each port, and the kernel skips whole request
+  /// scans when it is zero and the escape ring is blocked.
+  u64 avail_mask() noexcept {
+    if (mask_stamp_ != epoch_) {
+      u64 m = 0;
+      const u32 ports = static_cast<u32>(snaps_.size());
+      for (PortId p = 0; p < ports; ++p)
+        if (snap(p).avail != 0) m |= u64{1} << p;
+      avail_mask_ = m;
+      mask_stamp_ = epoch_;
+    }
+    return avail_mask_;
+  }
+
+ private:
+  struct PortSnap {
+    double occ = 1.0;  ///< memoized division, valid while occ_stamp == epoch
+    u32 free = 0;      ///< summed base-VC credits (occupancy numerator)
+    u32 cap = 0;       ///< summed base-VC capacity (occupancy denominator)
+    u32 stamp = 0;
+    u32 occ_stamp = 0;
+    VcId best_vc = 0;
+    u8 has_vc = 0;
+    u8 avail = 0;
+  };
+
+  const PortSnap& snap(PortId port) noexcept {
+    OFAR_DCHECK(port < snaps_.size());
+    PortSnap& s = snaps_[port];
+    if (s.stamp != epoch_) refresh(port, s);
+    return s;
+  }
+
+  // One pass over the port's base credit span, replicating the arithmetic
+  // of OutputPort::best_vc / occupancy exactly (see class comment: results
+  // must be bit-identical to the unmemoized queries).
+  void refresh(PortId port, PortSnap& s) noexcept {
+    s.stamp = epoch_;
+    const OutputPort& out = r_->outputs[port];
+    const u32 count = base_counts_[port];
+    if (count == 0 || !out.wired()) {
+      s.occ = 1.0;
+      s.occ_stamp = epoch_;
+      s.best_vc = 0;
+      s.has_vc = 0;
+      s.avail = 0;
+      return;
+    }
+    u32 free = 0, cap = 0;
+    u32 best = 0;
+    bool found = false;
+    VcId best_vc = 0;
+    for (u32 v = 0; v < count; ++v) {
+      const u32 c = out.credits[v];
+      free += c;
+      cap += out.credit_cap[v];
+      if (c >= packet_size_ && (!found || c > best)) {
+        best = c;
+        best_vc = static_cast<VcId>(v);
+        found = true;
+      }
+    }
+    s.free = free;
+    s.cap = cap;
+    s.occ_stamp = epoch_ - 1;  // division deferred to base_occupancy()
+    s.best_vc = best_vc;
+    s.has_vc = found ? 1 : 0;
+    s.avail = (found && !out.busy()) ? 1 : 0;
+  }
+
+  const Router* r_ = nullptr;
+  u32 epoch_ = 0;
+  u32 mask_stamp_ = 0;
+  u64 avail_mask_ = 0;
+  u32 packet_size_ = 0;
+  std::vector<u32> base_counts_;  ///< [port] -> base VC count (class-invariant)
+  std::vector<PortSnap> snaps_;   ///< [port] -> memoized summary
+};
+
+}  // namespace ofar

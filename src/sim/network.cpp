@@ -39,85 +39,16 @@ Network::Network(const SimConfig& cfg)
 
   if (cfg_.ring != RingKind::kNone) build_ring();
 
-  // ---- routers: input FIFOs, output units, arbiters ----
   const u32 ports = topo_.ports_per_router();
-  routers_.resize(topo_.routers());
-  std::vector<std::pair<u32, u32>> shape(ports);  // per port: (vcs, capacity)
-  for (RouterId r = 0; r < topo_.routers(); ++r) {
-    Router& router = routers_[r];
-    router.id = r;
-    router.inputs.resize(ports);
-    router.outputs.resize(ports);
-    router.input_mask.assign(ports, 0);
-    OFAR_CHECK_MSG(ports <= 64, "active-output bitmask is 64 bits wide");
-    // Pass 1: per-port VC count and FIFO capacity, so the SoA pools can be
-    // reserved to their exact final size before any span is bound.
-    u32 total_vcs = 0;
-    for (PortId port = 0; port < ports; ++port) {
-      u32 vcs = 0, cap = 0;
-      switch (topo_.port_class(port)) {
-        case PortClass::kNode:
-          vcs = cfg_.vcs_injection;
-          cap = cfg_.fifo_injection;
-          break;
-        case PortClass::kLocal:
-          vcs = cfg_.vcs_local;
-          cap = cfg_.fifo_local;
-          break;
-        case PortClass::kGlobal:
-          vcs = cfg_.vcs_global;
-          cap = cfg_.fifo_global;
-          break;
-        case PortClass::kRing: {
-          // Physical ring input receives from the ring predecessor; size the
-          // buffer for the wire class of that incoming hop.
-          vcs = cfg_.vcs_local;
-          const RouterId pred = ring_->predecessor(r);
-          cap = ring_->step_crosses_group(pred) ? cfg_.fifo_global
-                                                : cfg_.fifo_local;
-          break;
-        }
-      }
-      // Embedded escape ring: one extra VC on the port that receives the
-      // ring channel (paper §IV-C / §VII).
-      if (cfg_.ring == RingKind::kEmbedded && port == ring_in_port_[r]) {
-        ring_in_first_vc_[r] = vcs;
-        ring_in_num_vcs_[r] = 1;
-        vcs += 1;
-      }
-      OFAR_CHECK_MSG(vcs <= 8, "input VC bitmask is 8 bits wide");
-      shape[port] = {vcs, cap};
-      total_vcs += vcs;
-    }
-    // Pass 2: build the pools and bind the per-port views.
-    router.fifo_pool.reserve(total_vcs);
-    router.head_busy_pool.reserve(total_vcs);
-    u32 max_vcs = 1;
-    for (PortId port = 0; port < ports; ++port) {
-      const auto [vcs, cap] = shape[port];
-      router.bind_input_pool(port, vcs, cap);
-      router.buffer_capacity_phits += vcs * cap;
-      max_vcs = std::max(max_vcs, vcs);
-    }
-    router.input_arb.reserve(ports);
-    router.output_arb.reserve(ports);
-    for (PortId port = 0; port < ports; ++port) {
-      router.input_arb.emplace_back(max_vcs);
-      router.output_arb.emplace_back(ports);
-    }
-  }
-
-  build_channels();
-  size_output_credits();
-
-  policy_ = make_policy(cfg_);
-  pending_.resize(topo_.nodes());
+  const u32 num_routers = topo_.routers();
+  OFAR_CHECK_MSG(ports <= 64, "active-output bitmask is 64 bits wide");
 
   // ---- shard partition (DESIGN.md §10) ----
   // Contiguous router ranges of near-equal size; nodes follow their router.
   // K = 1 (the default) is the sequential kernel. The partition depends
-  // only on (routers, sim_shards), never on thread count.
-  const u32 num_routers = topo_.routers();
+  // only on (routers, sim_shards), never on thread count. It is computed
+  // before router construction because the per-VC hot state lives in
+  // per-shard arenas (sim/flat_state.hpp).
   const u32 shard_count =
       std::min(std::max(cfg_.sim_shards, 1u), num_routers);
   shards_.resize(shard_count);
@@ -139,7 +70,91 @@ Network::Network(const SimConfig& cfg)
       sh.delivered.reserve(kWheelSlotReserve);
     }
   }
+
+  // ---- routers: input FIFOs, output units, arbiters ----
+  // Per-port shape (VC count, FIFO capacity). Called once per port in each
+  // of the two passes below; the embedded-ring VC bookkeeping it writes is
+  // idempotent.
+  auto port_shape = [this](RouterId r, PortId port) -> std::pair<u32, u32> {
+    u32 vcs = 0, cap = 0;
+    switch (topo_.port_class(port)) {
+      case PortClass::kNode:
+        vcs = cfg_.vcs_injection;
+        cap = cfg_.fifo_injection;
+        break;
+      case PortClass::kLocal:
+        vcs = cfg_.vcs_local;
+        cap = cfg_.fifo_local;
+        break;
+      case PortClass::kGlobal:
+        vcs = cfg_.vcs_global;
+        cap = cfg_.fifo_global;
+        break;
+      case PortClass::kRing: {
+        // Physical ring input receives from the ring predecessor; size the
+        // buffer for the wire class of that incoming hop.
+        vcs = cfg_.vcs_local;
+        const RouterId pred = ring_->predecessor(r);
+        cap = ring_->step_crosses_group(pred) ? cfg_.fifo_global
+                                              : cfg_.fifo_local;
+        break;
+      }
+    }
+    // Embedded escape ring: one extra VC on the port that receives the
+    // ring channel (paper §IV-C / §VII).
+    if (cfg_.ring == RingKind::kEmbedded && port == ring_in_port_[r]) {
+      ring_in_first_vc_[r] = vcs;
+      ring_in_num_vcs_[r] = 1;
+      vcs += 1;
+    }
+    OFAR_CHECK_MSG(vcs <= 8, "input VC bitmask is 8 bits wide");
+    return {vcs, cap};
+  };
+
+  routers_.resize(num_routers);
+  for (u32 s = 0; s < shard_count; ++s) {
+    ShardState& sh = shards_[s];
+    // Pass 1: exact arena totals over this shard's routers, so the arena
+    // can be reserved to its final size before any span is bound.
+    std::size_t total_vcs = 0, total_slots = 0;
+    for (RouterId r = sh.router_begin; r < sh.router_end; ++r) {
+      for (PortId port = 0; port < ports; ++port) {
+        const auto [vcs, cap] = port_shape(r, port);
+        total_vcs += vcs;
+        total_slots += std::size_t{vcs} * VcFifo::slots_for(cap);
+      }
+    }
+    sh.arena.reserve_input_state(total_vcs, total_slots);
+    // Pass 2: build the routers and bind their views into the arena.
+    for (RouterId r = sh.router_begin; r < sh.router_end; ++r) {
+      Router& router = routers_[r];
+      router.id = r;
+      router.inputs.resize(ports);
+      router.outputs.resize(ports);
+      router.input_mask.assign(ports, 0);
+      u32 max_vcs = 1;
+      for (PortId port = 0; port < ports; ++port) {
+        const auto [vcs, cap] = port_shape(r, port);
+        sh.arena.bind_inputs(router, port, vcs, cap);
+        router.buffer_capacity_phits += vcs * cap;
+        max_vcs = std::max(max_vcs, vcs);
+      }
+      router.input_arb.reserve(ports);
+      router.output_arb.reserve(ports);
+      for (PortId port = 0; port < ports; ++port) {
+        router.input_arb.emplace_back(max_vcs);
+        router.output_arb.emplace_back(ports);
+      }
+    }
+  }
+
+  build_channels();
+  size_output_credits();
+
+  policy_ = make_policy(cfg_);
+  pending_.resize(topo_.nodes());
   policy_->bind_lanes(shard_count);
+  for (ShardState& sh : shards_) sh.view.init(*this);
 
   router_in_worklist_.assign(num_routers, 0);
   node_in_worklist_.assign(topo_.nodes(), 0);
@@ -272,33 +287,38 @@ void Network::build_channels() {
 }
 
 void Network::size_output_credits() {
-  for (Router& r : routers_) {
-    // Pass 1: total downstream-VC count, so the credit pools are reserved
-    // to their exact final size before any span is bound.
-    u32 total = 0;
-    for (const OutputPort& out : r.outputs) {
-      if (!out.wired()) continue;
-      const Channel& ch = channels_[out.channel];
-      total += ch.is_ejection()
-                   ? 1u
-                   : routers_[ch.dst_router].inputs[ch.dst_port].vcs.size();
-    }
-    r.credit_pool.reserve(total);
-    r.credit_cap_pool.reserve(total);
-    // Pass 2: bind per-port views and fill in the downstream capacities.
-    for (PortId port = 0; port < r.outputs.size(); ++port) {
-      OutputPort& out = r.outputs[port];
-      if (!out.wired()) continue;
-      const Channel& ch = channels_[out.channel];
-      if (ch.is_ejection()) {
-        r.bind_credit_span(port, 1, kEjectionCredits);
-        continue;
+  for (ShardState& sh : shards_) {
+    // Pass 1: total downstream-VC count over this shard's routers, so the
+    // arena's credit arrays are reserved to their exact final size before
+    // any span is bound.
+    std::size_t total = 0;
+    for (RouterId rid = sh.router_begin; rid < sh.router_end; ++rid) {
+      for (const OutputPort& out : routers_[rid].outputs) {
+        if (!out.wired()) continue;
+        const Channel& ch = channels_[out.channel];
+        total += ch.is_ejection()
+                     ? 1u
+                     : routers_[ch.dst_router].inputs[ch.dst_port].vcs.size();
       }
-      const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
-      r.bind_credit_span(port, in.vcs.size(), 0);
-      for (u32 v = 0; v < in.vcs.size(); ++v) {
-        out.credits[v] = in.vcs[v].capacity();
-        out.credit_cap[v] = in.vcs[v].capacity();
+    }
+    sh.arena.reserve_credit_state(total);
+    // Pass 2: bind per-port views and fill in the downstream capacities.
+    for (RouterId rid = sh.router_begin; rid < sh.router_end; ++rid) {
+      Router& r = routers_[rid];
+      for (PortId port = 0; port < r.outputs.size(); ++port) {
+        OutputPort& out = r.outputs[port];
+        if (!out.wired()) continue;
+        const Channel& ch = channels_[out.channel];
+        if (ch.is_ejection()) {
+          sh.arena.bind_credits(r, port, 1, kEjectionCredits);
+          continue;
+        }
+        const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
+        sh.arena.bind_credits(r, port, in.vcs.size(), 0);
+        for (u32 v = 0; v < in.vcs.size(); ++v) {
+          out.credits[v] = in.vcs[v].capacity();
+          out.credit_cap[v] = in.vcs[v].capacity();
+        }
       }
     }
   }
@@ -346,6 +366,17 @@ bool Network::base_available(const Router& r, PortId port) const {
   base_vc_range(r.id, port, first, count);
   VcId vc;
   return count != 0 && out.best_vc(first, count, cfg_.packet_size, vc);
+}
+
+bool Network::ring_can_take_packet(const Router& r) const {
+  if (ring_ == nullptr) return false;
+  const RingOut& ro = ring_out_[r.id];
+  if (ro.port == kInvalidPort) return false;
+  const OutputPort& out = r.outputs[ro.port];
+  if (!out.wired() || out.busy()) return false;
+  for (u32 v = ro.first_vc; v < ro.first_vc + ro.num_vcs; ++v)
+    if (out.credits[v] >= cfg_.packet_size) return true;
+  return false;
 }
 
 bool Network::best_base_vc(const Router& r, PortId port, VcId& vc) const {
@@ -478,7 +509,8 @@ void Network::deliver_events() {
   phit_wheel_[slot].clear();
   for (const CreditEvent& e : credit_wheel_[slot]) {
     const Channel& ch = channels_[e.ch];
-    OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
+    Router& src = routers_[ch.src_router];
+    OutputPort& out = src.outputs[ch.src_port];
     OFAR_DCHECK(e.vc < out.credits.size());
     ++out.credits[e.vc];
     OFAR_DCHECK(out.credits[e.vc] <= out.credit_cap[e.vc]);
@@ -562,10 +594,13 @@ void Network::advance_transfers(ShardState& sh) {
       InputPort& in = r.inputs[out.src_port];
       VcFifo& fifo = in.vcs[out.src_vc];
       OFAR_DCHECK(!fifo.empty() && fifo.head() == out.active);
-      const Packet& pkt = pool_.get(out.active);
-      const bool head = out.phits_left == pkt.size;
+      // Cached at grant time (commit_grant): the streaming loop never has
+      // to touch the packet pool.
+      const u32 size = out.active_size;
+      OFAR_DCHECK(size == pool_.get(out.active).size);
+      const bool head = out.phits_left == size;
       const bool tail = out.phits_left == 1;
-      const bool popped = fifo.pop_phit(pkt.size);
+      const bool popped = fifo.pop_phit(size);
       OFAR_DCHECK(popped == tail);
       if (in.in_channel != kInvalidChannel) {
         const u32 latency = channels_[in.in_channel].latency;
@@ -616,6 +651,10 @@ void Network::advance_transfers(ShardState& sh) {
 
 template <bool kStaged>
 void Network::do_allocation(ShardState& sh, u32 lane) {
+  // Provenance is only materialised for traced heads (sparse side buffer),
+  // so one record is reused across the scan and reset only when a traced
+  // head actually wants it — the untraced hot path never touches it.
+  RouteProvenance prov;
   for (const RouterId id : sh.active_routers) {
     Router& r = routers_[id];
     // No routable head means the port scan below would find nothing to
@@ -626,34 +665,56 @@ void Network::do_allocation(ShardState& sh, u32 lane) {
     if (r.routable_heads == 0) continue;
     sh.reqs.clear();
     sh.provs.clear();
+    // Rebind the shard's credit view to this router: one O(1) epoch bump,
+    // after which every route() call of this scan reads its base-VC
+    // queries from at most one per-port refresh. Exact by construction —
+    // no credit or output-busy state changes until commit_grant below.
+    sh.view.bind(r);
+    // Saturated fast path: when no output could take a whole packet and
+    // the escape ring cannot move one either, every route() call below
+    // would return none — and for pure-when-blocked policies a failing
+    // call draws no RNG and touches nothing, so the scan itself can be
+    // skipped. Telemetry and tracing observe the failing calls (per-head
+    // stall attribution, provenance events), so either disables the skip.
+    if (skip_blocked_scans_ && sh.view.avail_mask() == 0 &&
+        !ring_can_take_packet(r))
+      continue;
+    // Pass 1: gather routable heads from the flat FIFO arena and prefetch
+    // each head packet's cache line. Head packets are scattered across the
+    // pool, so letting the loads overlap here (instead of stalling pass 2
+    // one miss at a time) is worth a second, purely local walk.
+    sh.heads.clear();
     for (PortId port = 0; port < r.inputs.size(); ++port) {
       u8 mask = r.input_mask[port];
       if (mask == 0) continue;
-      InputPort& in = r.inputs[port];
+      const InputPort& in = r.inputs[port];
       while (mask != 0) {
         const VcId vc = static_cast<VcId>(__builtin_ctz(mask));
         mask &= static_cast<u8>(mask - 1);
         if (!in.has_head(vc)) continue;
-        Packet& pkt = pool_.get(in.vcs[vc].head());
-        // Provenance is only materialised for traced heads (sparse side
-        // buffer), so the untraced hot path passes nullptr and pays
-        // nothing beyond this test.
-        RouteProvenance prov;
-        const bool want_prov = pkt.traced && tracer_;
-        const RouteChoice choice = policy_->route(
-            *this, r.id, port, vc, pkt, lane, want_prov ? &prov : nullptr);
-        if (!choice.valid) {
-          // No grantable output this cycle (busy or out of credits).
-          if (telem_) telem_->note_credit_stall(r.id, port, vc);
-          continue;
-        }
-        OFAR_DCHECK(!r.outputs[choice.out_port].busy());
-        OFAR_DCHECK(r.outputs[choice.out_port].credits[choice.out_vc] >=
-                    cfg_.packet_size);
-        if (want_prov)
-          sh.provs.emplace_back(static_cast<u32>(sh.reqs.size()), prov);
-        sh.reqs.push_back({port, vc, in.vcs[vc].head(), choice, false});
+        const PacketId pid = in.vcs[vc].head();
+        __builtin_prefetch(&pool_.get(pid));
+        sh.heads.push_back({port, vc, pid});
       }
+    }
+    // Pass 2: one route() call per head, in the same port/VC order.
+    for (const ShardState::HeadRef& h : sh.heads) {
+      Packet& pkt = pool_.get(h.pid);
+      const bool want_prov = pkt.traced && tracer_;
+      if (want_prov) prov = RouteProvenance{};
+      RouteContext rctx{*this, sh.view, r.id,         h.port,
+                        h.vc,  pkt,    lane, want_prov ? &prov : nullptr};
+      const RouteChoice choice = policy_->route(rctx);
+      if (!choice.valid) {
+        if (telem_) telem_->note_credit_stall(r.id, h.port, h.vc);
+        continue;
+      }
+      OFAR_DCHECK(!r.outputs[choice.out_port].busy());
+      OFAR_DCHECK(r.outputs[choice.out_port].credits[choice.out_vc] >=
+                  cfg_.packet_size);
+      if (want_prov)
+        sh.provs.emplace_back(static_cast<u32>(sh.reqs.size()), prov);
+      sh.reqs.push_back({h.port, h.vc, h.pid, choice, false});
     }
     if (sh.reqs.empty()) continue;
     sh.alloc->run(r, sh.reqs, cfg_.allocator_iterations, now_);
@@ -690,6 +751,7 @@ void Network::commit_grant(ShardState& sh, Router& r, const AllocRequest& rq,
   out.src_port = rq.in_port;
   out.src_vc = rq.in_vc;
   out.phits_left = pkt.size;
+  out.active_size = pkt.size;
   ++r.active_transfers;
   r.active_out_mask |= 1ull << rq.choice.out_port;
   r.inputs[rq.in_port].head_busy[rq.in_vc] = 1;
@@ -861,6 +923,11 @@ void Network::run_watchdog() {
 }
 
 void Network::step() {
+  // Re-evaluated every cycle: tracing/telemetry can be toggled between
+  // runs, and the blocked-scan skip must never drop their per-head
+  // observations (see do_allocation).
+  skip_blocked_scans_ = policy_->blocked_route_is_pure() &&
+                        tracer_ == nullptr && telem_ == nullptr;
   if (telem_ != nullptr) {
     step_instrumented();
     return;
@@ -958,7 +1025,8 @@ void Network::deliver_events_shard(ShardState& sh, u32 shard) {
   for (const CreditEvent& e : credit_wheel_[slot]) {
     const Channel& ch = channels_[e.ch];
     if (shard_of_router_[ch.src_router] != shard) continue;
-    OutputPort& out = routers_[ch.src_router].outputs[ch.src_port];
+    Router& src = routers_[ch.src_router];
+    OutputPort& out = src.outputs[ch.src_port];
     OFAR_DCHECK(e.vc < out.credits.size());
     ++out.credits[e.vc];
     OFAR_DCHECK(out.credits[e.vc] <= out.credit_cap[e.vc]);

@@ -37,6 +37,7 @@
 #include "routing/routing.hpp"
 #include "sim/allocator.hpp"
 #include "sim/channel.hpp"
+#include "sim/flat_state.hpp"
 #include "sim/packet_pool.hpp"
 #include "sim/router.hpp"
 #include "stats/metrics.hpp"
@@ -309,10 +310,26 @@ class Network {
     std::vector<RouterId> active_routers;
     bool sorted = true;
 
+    // Flat SoA arena backing the FIFO/credit spans of this shard's routers
+    // (sim/flat_state.hpp), and the memoized credit view serving route()'s
+    // base-VC queries — rebound per router by the allocation scan.
+    ShardArena arena;
+    CreditView view;
+
     // Allocation scratch: the separable allocator keeps per-port arbiters
     // reusable state, so each shard owns one (plus a request buffer).
     std::unique_ptr<SeparableAllocator> alloc;
     std::vector<AllocRequest> reqs;
+    /// Head-gather scratch for the allocation scan: pass 1 walks the flat
+    /// FIFO arena collecting routable heads (and prefetching their packet
+    /// lines), pass 2 routes them — the scattered pool loads overlap
+    /// instead of stalling the scan one miss at a time.
+    struct HeadRef {
+      PortId port;
+      VcId vc;
+      PacketId pid;
+    };
+    std::vector<HeadRef> heads;
 
     // Outboxes and staged side effects, only used when num_shards() > 1.
     std::vector<StagedPhit> phit_out;
@@ -346,6 +363,10 @@ class Network {
   OFAR_PARALLEL_PHASE void advance_transfers(ShardState& sh);
   template <bool kStaged>
   OFAR_PARALLEL_PHASE void do_allocation(ShardState& sh, u32 lane);
+  /// True when router `r`'s escape-ring output could move one whole packet
+  /// this cycle (wired, transfer-idle, a packet of credits on some escape
+  /// VC). Conservative upper bound for entry, which needs the bubble too.
+  OFAR_PARALLEL_PHASE bool ring_can_take_packet(const Router& r) const;
   template <bool kStaged>
   OFAR_PARALLEL_PHASE void commit_grant(ShardState& sh, Router& r,
                                         const AllocRequest& rq,
@@ -418,6 +439,12 @@ class Network {
   OFAR_SERIAL_ONLY Rng rng_;  ///< parallel phases draw via policy lane RNGs
   OFAR_SERIAL_ONLY Stats stats_;  ///< parallel phases stage in ShardState
   std::unique_ptr<RoutingPolicy> policy_;
+  /// Per-cycle constant, latched serially at the top of step(): true when
+  /// do_allocation may skip a router's whole request scan once its
+  /// availability mask is empty and the ring cannot move (requires a
+  /// pure-when-blocked policy and no tracer/telemetry observing the
+  /// failing calls). Read-only during parallel phases.
+  bool skip_blocked_scans_ = false;
   OFAR_SERIAL_ONLY std::unique_ptr<TrafficSource> traffic_;
   OFAR_SERIAL_ONLY std::function<void(const TraceEvent&)> tracer_;
 

@@ -16,33 +16,19 @@ namespace ofar {
 inline constexpr GroupId kInvalidGroup = std::numeric_limits<GroupId>::max();
 inline constexpr RouterId kInvalidRouter = std::numeric_limits<RouterId>::max();
 
-struct Packet {
+// Field order is cache-conscious, not thematic: the struct packs to
+// exactly 64 bytes and alignas(64) pins it to a single cache line. The
+// saturated allocation scan touches thousands of scattered head packets
+// per cycle and prefetches one line each (see Network::do_allocation) —
+// a straddling Packet would make half of those prefetches cover only part
+// of the fields route() reads. The route-hot fields (addresses, Valiant
+// state, misroute flags, ring state) lead; commit/delivery-only fields
+// (timestamps, the trace sequence number) trail.
+struct alignas(64) Packet {
+  // ---- routing addresses ----
   NodeId src = 0;
   NodeId dst = 0;
   RouterId dst_router = 0;
-  u16 size = 0;          ///< phits
-  u16 pattern_tag = 0;   ///< which traffic component generated it (stats)
-  Cycle birth = 0;       ///< generation cycle (latency baseline, paper §VI-B)
-  Cycle last_progress = 0;  ///< last grant cycle (deadlock watchdog)
-
-  // ---- tracing (src/trace; zero-cost unless a tracer is installed) ----
-  /// Injection sequence number: the value of Network::injected_total() when
-  /// the packet was placed. Assigned in the serial injection phase, so it
-  /// is identical at any sim_threads — the basis of deterministic sampling.
-  u64 seq = 0;
-  /// Selected by the hash-based trace sampler (trace_should_sample).
-  bool traced = false;
-
-  // ---- hop bookkeeping (drives the ordered-VC discipline) ----
-  u8 local_hops = 0;
-  u8 global_hops = 0;
-  u8 total_hops = 0;
-  /// Local hops taken since entering the current group; resets on every
-  /// global hop. The ordered-VC level of a local hop is
-  /// global_hops + local_hops_in_group, which is strictly ascending along
-  /// any l-g-l-g-l (or intra-group l-l) path — the property that makes the
-  /// VC-ordered mechanisms deadlock-free.
-  u8 local_hops_in_group = 0;
 
   // ---- Valiant state (VAL / PB / UGAL) ----
   GroupId inter_group = kInvalidGroup;    ///< intermediate group, or invalid
@@ -58,6 +44,34 @@ struct Packet {
   bool in_ring = false;
   bool ring_entered = false;  ///< ever entered the ring (distinct-packet stats)
   u8 ring_exits = 0;  ///< times the packet abandoned the ring (livelock cap)
+
+  /// Selected by the hash-based trace sampler (trace_should_sample); read
+  /// on the hot path (is this head's provenance wanted?).
+  bool traced = false;
+
+  // ---- hop bookkeeping (drives the ordered-VC discipline) ----
+  u8 local_hops = 0;
+  u8 global_hops = 0;
+  u8 total_hops = 0;
+  /// Local hops taken since entering the current group; resets on every
+  /// global hop. The ordered-VC level of a local hop is
+  /// global_hops + local_hops_in_group, which is strictly ascending along
+  /// any l-g-l-g-l (or intra-group l-l) path — the property that makes the
+  /// VC-ordered mechanisms deadlock-free.
+  u8 local_hops_in_group = 0;
+
+  u16 size = 0;          ///< phits
+  u16 pattern_tag = 0;   ///< which traffic component generated it (stats)
+
+  // ---- cold fields (grant commit / delivery only) ----
+  Cycle birth = 0;       ///< generation cycle (latency baseline, paper §VI-B)
+  Cycle last_progress = 0;  ///< last grant cycle (deadlock watchdog)
+  /// Injection sequence number: the value of Network::injected_total() when
+  /// the packet was placed. Assigned in the serial injection phase, so it
+  /// is identical at any sim_threads — the basis of deterministic sampling.
+  u64 seq = 0;
 };
+static_assert(sizeof(Packet) == 64 && alignof(Packet) == 64,
+              "a Packet must occupy exactly one cache line");
 
 }  // namespace ofar

@@ -6,12 +6,13 @@
 // orchestration lives in Network; Router is state + small queries.
 //
 // Storage layout: the per-VC state every hot scan touches — downstream
-// credit counters, FIFO metadata, head-busy flags — lives in contiguous
-// per-router pools (SoA); InputPort/OutputPort hold Span views into them.
-// The allocation and routing scans of one router therefore walk a handful
-// of flat arrays instead of chasing one heap vector per port. Pools are
-// sized once at construction (see Network / bind helpers below) and never
-// reallocate, which keeps the views valid for the router's lifetime.
+// credit counters, FIFO metadata + ring slots, head-busy flags — lives in
+// contiguous per-SHARD arenas (sim/flat_state.hpp), laid out router/port/
+// VC-major; InputPort/OutputPort hold Span views into them. The allocation
+// and routing scans of a shard therefore stream through a few flat arrays
+// instead of chasing per-router heap vectors. Arenas are sized exactly once
+// at construction (reserve + bind, see ShardArena) and never reallocate,
+// which keeps the views valid for the network's lifetime.
 #pragma once
 
 #include <vector>
@@ -36,6 +37,8 @@ struct OutputPort {
   PortId src_port = 0;
   VcId src_vc = 0;
   u32 phits_left = 0;
+  u16 active_size = 0;  ///< cached Packet::size of `active` (set at grant),
+                        ///< so the transfer loop never touches the pool
 
   bool wired() const noexcept { return channel != kInvalidChannel; }
   bool busy() const noexcept { return active != kInvalidPacket; }
@@ -110,16 +113,8 @@ struct InputPort {
 // kernel; parallel phases may mutate only routers of their own shard.
 struct OFAR_SHARD_LOCAL Router {
   RouterId id = 0;
-  std::vector<InputPort> inputs;
-  std::vector<OutputPort> outputs;
-
-  // SoA pools backing the Span views of inputs/outputs, laid out port-major
-  // ([port0 vc0..vcN | port1 vc0..vcM | ...]). Sized exactly once (reserve +
-  // bind) so the views stay valid; see bind_input_pools / bind_credit_spans.
-  std::vector<VcFifo> fifo_pool;
-  std::vector<u8> head_busy_pool;
-  std::vector<u32> credit_pool;
-  std::vector<u32> credit_cap_pool;
+  std::vector<InputPort> inputs;   // Span views into the owning ShardArena,
+  std::vector<OutputPort> outputs;  // port-major ([port0 vc0.. | port1 ..])
 
   // Fast-path skip state maintained by Network: packets buffered in any
   // input FIFO of this router; per-input-port bitmask of non-empty VCs
@@ -150,34 +145,6 @@ struct OFAR_SHARD_LOCAL Router {
   /// worklist contains exactly the routers for which this holds.
   bool has_activity() const noexcept {
     return buffered_packets > 0 || active_out_mask != 0;
-  }
-
-  /// Appends `count` FIFOs of `capacity` phits to the input pools and binds
-  /// `inputs[port]`'s views onto them. `fifo_pool` must have been reserved
-  /// to its final size beforehand (views would dangle across a realloc).
-  void bind_input_pool(PortId port, u32 count, u32 capacity) {
-    OFAR_DCHECK(fifo_pool.size() + count <= fifo_pool.capacity());
-    OFAR_DCHECK(head_busy_pool.size() + count <= head_busy_pool.capacity());
-    const std::size_t at = fifo_pool.size();
-    for (u32 v = 0; v < count; ++v) {
-      fifo_pool.emplace_back(capacity);
-      head_busy_pool.push_back(0);
-    }
-    inputs[port].vcs = Span<VcFifo>(fifo_pool.data() + at, count);
-    inputs[port].head_busy = Span<u8>(head_busy_pool.data() + at, count);
-  }
-
-  /// Appends `count` credit counters initialised to `value` and binds
-  /// `outputs[port]`'s views onto them. Same pre-reserve contract as above.
-  void bind_credit_span(PortId port, u32 count, u32 value) {
-    OFAR_DCHECK(credit_pool.size() + count <= credit_pool.capacity());
-    const std::size_t at = credit_pool.size();
-    for (u32 v = 0; v < count; ++v) {
-      credit_pool.push_back(value);
-      credit_cap_pool.push_back(value);
-    }
-    outputs[port].credits = Span<u32>(credit_pool.data() + at, count);
-    outputs[port].credit_cap = Span<u32>(credit_cap_pool.data() + at, count);
   }
 };
 

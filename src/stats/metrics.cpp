@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 #include "stats/sink.hpp"
 
@@ -42,7 +43,7 @@ Telemetry::Telemetry(const Network& net, TelemetryConfig cfg)
     const Router& router = net.router(r);
     for (PortId p = 0; p < ports_; ++p) {
       vc_base_[static_cast<std::size_t>(r) * ports_ + p] = total_vcs;
-      total_vcs += static_cast<u32>(router.inputs[p].vcs.size());
+      total_vcs += HeadView(router.inputs[p]).num_vcs();
     }
   }
   vc_base_.back() = total_vcs;
@@ -201,12 +202,13 @@ void Telemetry::sample(const Network& net, Cycle now) {
     const Router& router = net.router(r);
     if (router.throttled) ++throttled;
     for (PortId p = 0; p < ports_; ++p) {
-      const InputPort& in = router.inputs[p];
-      for (u32 v = 0; v < in.vcs.size(); ++v) {
-        const u32 cap = in.vcs[v].capacity();
+      const HeadView in(router.inputs[p]);
+      for (u32 v = 0; v < in.num_vcs(); ++v) {
+        const u32 cap = in.capacity(static_cast<VcId>(v));
         if (cap == 0) continue;
-        const double occ = static_cast<double>(in.vcs[v].stored_phits()) /
-                           static_cast<double>(cap);
+        const double occ =
+            static_cast<double>(in.stored_phits(static_cast<VcId>(v))) /
+            static_cast<double>(cap);
         occ_sum += occ;
         ++occ_n;
         if (occ > hot_.vc_occ) {
@@ -366,14 +368,14 @@ void Telemetry::emit_full_dump(const Network& net, Cycle now, Cycle width) {
   for (RouterId r = 0; r < net.topo().routers(); ++r) {
     const Router& router = net.router(r);
     for (PortId p = 0; p < ports_; ++p) {
-      const InputPort& in = router.inputs[p];
-      for (u32 v = 0; v < in.vcs.size(); ++v) {
-        const u32 stored = in.vcs[v].stored_phits();
+      const HeadView in(router.inputs[p]);
+      for (u32 v = 0; v < in.num_vcs(); ++v) {
+        const u32 stored = in.stored_phits(static_cast<VcId>(v));
         const u32 flat = vc_index(r, p, static_cast<VcId>(v));
         const u64 cstall = vc_credit_stall_[flat];
         const u64 astall = vc_alloc_stall_[flat];
         if (stored == 0 && cstall == 0 && astall == 0) continue;
-        const u32 cap = in.vcs[v].capacity();
+        const u32 cap = in.capacity(static_cast<VcId>(v));
         const double occ =
             cap == 0 ? 0.0
                      : static_cast<double>(stored) / static_cast<double>(cap);
@@ -412,11 +414,12 @@ void Telemetry::collect_edges(const Network& net, Cycle now,
   for (RouterId r = 0; r < topo.routers(); ++r) {
     const Router& router = net.router(r);
     for (PortId p = 0; p < ports_; ++p) {
-      const InputPort& in = router.inputs[p];
-      for (u32 v = 0; v < in.vcs.size(); ++v) {
-        if (in.vcs[v].empty()) continue;
-        if (in.head_busy[v] != 0) continue;  // streaming: making progress
-        const PacketId id = in.vcs[v].head();
+      const HeadView in(router.inputs[p]);
+      for (u32 v = 0; v < in.num_vcs(); ++v) {
+        if (in.empty(static_cast<VcId>(v))) continue;
+        // Streaming heads are making progress, not stalled.
+        if (in.head_in_flight(static_cast<VcId>(v))) continue;
+        const PacketId id = in.head(static_cast<VcId>(v));
         const Packet& pkt = net.packets().get(id);
         const u64 age = now - pkt.last_progress;
         if (age <= timeout) continue;
@@ -433,7 +436,7 @@ void Telemetry::collect_edges(const Network& net, Cycle now,
         e.dst_router = pkt.dst_router;
         e.age = age;
         e.in_ring = pkt.in_ring;
-        e.arrived_phits = in.vcs[v].head_arrived();
+        e.arrived_phits = in.head_arrived(static_cast<VcId>(v));
 
         // The output this head structurally waits for: the ring output for
         // in-ring packets, ejection at the destination router, else the

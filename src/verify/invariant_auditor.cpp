@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 #include "stats/sink.hpp"
 #include "verify/wait_graph.hpp"
@@ -136,9 +137,9 @@ void InvariantAuditor::check_credit_conservation(AuditReport& rep) const {
     const Channel& ch = net_.channels_[c];
     if (ch.is_ejection()) continue;  // sink credits are modelled as infinite
     const OutputPort& out = net_.routers_[ch.src_router].outputs[ch.src_port];
-    const InputPort& in = net_.routers_[ch.dst_router].inputs[ch.dst_port];
+    const HeadView in(net_.routers_[ch.dst_router].inputs[ch.dst_port]);
     for (std::size_t v = 0; v < out.credits.size(); ++v) {
-      const u32 stored = in.vcs[v].stored_phits();
+      const u32 stored = in.stored_phits(static_cast<VcId>(v));
       const u32 unsent =
           out.busy() && out.active_vc == v ? out.phits_left : 0;
       const u64 total = u64{out.credits[v]} + wire_phits[c][v] +
@@ -223,9 +224,9 @@ void InvariantAuditor::check_vct_atomicity(AuditReport& rep) const {
         continue;
       }
       const Packet& pkt = net_.pool_.get(out.active);
-      const InputPort& in = r.inputs[out.src_port];
-      if (out.src_vc >= in.vcs.size() || in.vcs[out.src_vc].empty() ||
-          in.vcs[out.src_vc].head() != out.active) {
+      const HeadView in(r.inputs[out.src_port]);
+      if (out.src_vc >= in.num_vcs() || in.empty(out.src_vc) ||
+          in.head(out.src_vc) != out.active) {
         add(rep, Invariant::kVctAtomicity,
             format("r%u.p%u: transfer source r%u.p%uv%u does not hold "
                    "packet %u at its head",
@@ -234,7 +235,7 @@ void InvariantAuditor::check_vct_atomicity(AuditReport& rep) const {
                    static_cast<u32>(out.src_vc), out.active));
         continue;
       }
-      if (in.head_busy[out.src_vc] == 0) {
+      if (!in.head_in_flight(out.src_vc)) {
         add(rep, Invariant::kVctAtomicity,
             format("r%u.p%uv%u: head packet %u is streaming to p%u but "
                    "head_busy is clear — the head could be granted twice",
@@ -322,9 +323,11 @@ void InvariantAuditor::check_worklists(AuditReport& rep) const {
     // routable_heads must count exactly the (port, vc) heads the
     // allocation scan could request for.
     u32 heads = 0;
-    for (const InputPort& in : net_.routers_[r].inputs)
-      for (VcId v = 0; v < in.vcs.size(); ++v)
-        if (in.has_head(v)) ++heads;
+    for (const InputPort& port : net_.routers_[r].inputs) {
+      const HeadView in(port);
+      for (VcId v = 0; v < in.num_vcs(); ++v)
+        if (in.routable(v)) ++heads;
+    }
     if (heads != net_.routers_[r].routable_heads) {
       add(rep, Invariant::kWorklists,
           format("r%u: %u routable heads present but counter says %u — "
@@ -377,11 +380,11 @@ void InvariantAuditor::check_ring_bubble(AuditReport& rep) const {
   for (RouterId r = 0; r < net_.routers_.size(); ++r) {
     const PortId port = net_.ring_in_port_[r];
     if (port == kInvalidPort) continue;
-    const InputPort& in = net_.routers_[r].inputs[port];
+    const HeadView in(net_.routers_[r].inputs[port]);
     const u32 first = net_.ring_in_first_vc_[r];
     for (u32 v = first; v < first + net_.ring_in_num_vcs_[r]; ++v) {
-      occupied += in.vcs[v].stored_phits();
-      capacity += in.vcs[v].capacity();
+      occupied += in.stored_phits(static_cast<VcId>(v));
+      capacity += in.capacity(static_cast<VcId>(v));
     }
   }
   for (const auto& slot : net_.phit_wheel_) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 
 namespace ofar::verify {
@@ -27,9 +28,8 @@ void WaitGraph::build() {
   max_vcs_ = 1;
   for (RouterId r = 0; r < topo.routers(); ++r)
     for (PortId p = 0; p < ports_; ++p)
-      max_vcs_ = std::max(
-          max_vcs_,
-          static_cast<u32>(net_.router(r).inputs[p].vcs.size()));
+      max_vcs_ =
+          std::max(max_vcs_, HeadView(net_.router(r).inputs[p]).num_vcs());
   const std::size_t total =
       static_cast<std::size_t>(topo.routers()) * ports_ * max_vcs_;
   adj_.assign(total, {});
@@ -43,14 +43,15 @@ void WaitGraph::build() {
   for (RouterId r = 0; r < topo.routers(); ++r) {
     const Router& router = net_.router(r);
     for (PortId p = 0; p < ports_; ++p) {
-      const InputPort& in = router.inputs[p];
-      for (u32 v = 0; v < in.vcs.size(); ++v) {
+      const HeadView in(router.inputs[p]);
+      for (u32 v = 0; v < in.num_vcs(); ++v) {
         const u32 u = node_index(r, p, static_cast<VcId>(v));
         if (net_.is_ring_input(r, p, static_cast<VcId>(v)))
           is_ring_node_[u] = 1;
-        if (in.vcs[v].empty()) continue;
-        if (in.head_busy[v] != 0) continue;  // streaming: making progress
-        const Packet& pkt = net_.packets().get(in.vcs[v].head());
+        if (in.empty(static_cast<VcId>(v))) continue;
+        // Streaming heads are making progress, not waiting.
+        if (in.head_in_flight(static_cast<VcId>(v))) continue;
+        const Packet& pkt = net_.packets().get(in.head(static_cast<VcId>(v)));
         if (now - pkt.last_progress <= timeout) continue;
 
         // Structural wait output (see header): topology-derived only.

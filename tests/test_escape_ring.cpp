@@ -8,11 +8,34 @@
 #include <memory>
 
 #include "core/escape_ring.hpp"
+#include "routing/routing.hpp"
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 #include "traffic/generator.hpp"
 
 namespace ofar {
 namespace {
+
+/// Wraps a crafted escape-ring query in the RouteContext the policy layer
+/// would normally supply (fresh CreditView bound to the router under test).
+RouteChoice call_enter(const EscapeRingControl& control, Network& net,
+                       RouterId at) {
+  CreditView view;
+  view.init(net);
+  view.bind(net.router(at));
+  Packet unused;  // enter() decides from router state alone
+  RouteContext ctx{net, view, at, 0, 0, unused, 0, nullptr};
+  return control.enter(ctx);
+}
+
+RouteChoice call_ride(const EscapeRingControl& control, Network& net,
+                      RouterId at, Packet& pkt) {
+  CreditView view;
+  view.init(net);
+  view.bind(net.router(at));
+  RouteContext ctx{net, view, at, 0, 0, pkt, 0, nullptr};
+  return control.ride(ctx);
+}
 
 SimConfig ring_cfg(RingKind ring = RingKind::kPhysical) {
   SimConfig cfg;
@@ -38,11 +61,11 @@ TEST(EscapeRing, EntryNeedsBubble) {
   const u32 size = net.config().packet_size;
 
   set_ring_credits(net, at, 2 * size);  // exactly packet + bubble
-  EXPECT_TRUE(control.enter(net, at).valid);
-  EXPECT_TRUE(control.enter(net, at).enter_ring);
+  EXPECT_TRUE(call_enter(control, net, at).valid);
+  EXPECT_TRUE(call_enter(control, net, at).enter_ring);
 
   set_ring_credits(net, at, 2 * size - 1);  // one phit short of the bubble
-  EXPECT_FALSE(control.enter(net, at).valid);
+  EXPECT_FALSE(call_enter(control, net, at).valid);
 }
 
 TEST(EscapeRing, RidingNeedsOnlyOnePacket) {
@@ -59,13 +82,13 @@ TEST(EscapeRing, RidingNeedsOnlyOnePacket) {
   ASSERT_NE(at, pkt.dst_router);
 
   set_ring_credits(net, at, size);  // plain VCT admission suffices in-ring
-  const RouteChoice ride = control.ride(net, at, pkt);
+  const RouteChoice ride = call_ride(control, net, at, pkt);
   ASSERT_TRUE(ride.valid);
   EXPECT_EQ(ride.out_port, net.ring_out(at).port);
   EXPECT_FALSE(ride.exit_ring);
 
   set_ring_credits(net, at, size - 1);
-  EXPECT_FALSE(control.ride(net, at, pkt).valid);  // wait in place
+  EXPECT_FALSE(call_ride(control, net, at, pkt).valid);  // wait in place
 }
 
 TEST(EscapeRing, ExitsToFreeMinimalPathWithinBudget) {
@@ -80,7 +103,7 @@ TEST(EscapeRing, ExitsToFreeMinimalPathWithinBudget) {
 
   // Fresh network: the minimal output is free, so the packet abandons the
   // ring immediately ("as soon as a minimal route is available", §IV-C).
-  const RouteChoice exit = control.ride(net, at, pkt);
+  const RouteChoice exit = call_ride(control, net, at, pkt);
   ASSERT_TRUE(exit.valid);
   EXPECT_TRUE(exit.exit_ring);
   EXPECT_EQ(exit.out_port, min_port_to_router(net, at, pkt.dst_router));
@@ -96,7 +119,7 @@ TEST(EscapeRing, ExitBudgetForcesRiding) {
   pkt.dst = net.topo().node_at(net.topo().router_at(3, 1), 0);
   pkt.dst_router = net.topo().router_at(3, 1);
 
-  const RouteChoice choice = control.ride(net, at, pkt);
+  const RouteChoice choice = call_ride(control, net, at, pkt);
   ASSERT_TRUE(choice.valid);
   EXPECT_FALSE(choice.exit_ring);  // min is free but the budget is spent
   EXPECT_EQ(choice.out_port, net.ring_out(at).port);
@@ -111,7 +134,7 @@ TEST(EscapeRing, EjectsAtDestinationEvenWithSpentBudget) {
   pkt.dst = net.topo().node_at(7, 1);
   pkt.dst_router = 7;
 
-  const RouteChoice choice = control.ride(net, 7, pkt);
+  const RouteChoice choice = call_ride(control, net, 7, pkt);
   ASSERT_TRUE(choice.valid);
   EXPECT_TRUE(choice.exit_ring);
   EXPECT_EQ(net.topo().port_class(choice.out_port), PortClass::kNode);
@@ -123,7 +146,7 @@ TEST(EscapeRing, BusyRingOutputBlocksEntry) {
   const RouterId at = 5;
   OutputPort& out = net.router(at).outputs[net.ring_out(at).port];
   out.active = 1;  // mark busy
-  EXPECT_FALSE(control.enter(net, at).valid);
+  EXPECT_FALSE(call_enter(control, net, at).valid);
 }
 
 class RingVariantTest : public ::testing::TestWithParam<RingKind> {};

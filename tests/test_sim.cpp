@@ -8,6 +8,7 @@
 
 #include "sim/allocator.hpp"
 #include "sim/fifo.hpp"
+#include "sim/flat_state.hpp"
 #include "sim/packet_pool.hpp"
 #include "sim/router.hpp"
 
@@ -150,15 +151,25 @@ TEST(LrsArbiter, IsStarvationFreeUnderPersistentLoad) {
 
 // ----------------------------------------------------------- allocator ----
 
-Router make_router(u32 ports, u32 vcs) {
-  Router r;
+// Router fixture owning its backing store. In the simulator the SoA arena
+// lives in the shard (ShardState::arena) and is shared by every router of
+// that shard; unit tests give each router a private arena instead. The
+// arena's vectors are heap-backed, so the Router's Span views stay valid
+// across moves of the fixture.
+struct TestRouter : Router {
+  ShardArena arena;
+};
+
+TestRouter make_router(u32 ports, u32 vcs) {
+  TestRouter r;
   r.inputs.resize(ports);
   r.outputs.resize(ports);
   r.input_mask.assign(ports, 0);
-  r.fifo_pool.reserve(static_cast<std::size_t>(ports) * vcs);
-  r.head_busy_pool.reserve(static_cast<std::size_t>(ports) * vcs);
+  r.arena.reserve_input_state(
+      static_cast<std::size_t>(ports) * vcs,
+      static_cast<std::size_t>(ports) * vcs * VcFifo::slots_for(32));
   for (u32 p = 0; p < ports; ++p) {
-    r.bind_input_pool(static_cast<PortId>(p), vcs, 32);
+    r.arena.bind_inputs(r, static_cast<PortId>(p), vcs, 32);
     r.input_arb.emplace_back(vcs);
     r.output_arb.emplace_back(ports);
   }
@@ -175,7 +186,7 @@ AllocRequest make_req(PortId in, VcId vc, PortId out) {
 }
 
 TEST(SeparableAllocator, GrantsNonConflictingRequests) {
-  Router r = make_router(4, 2);
+  TestRouter r = make_router(4, 2);
   SeparableAllocator alloc(4);
   std::vector<AllocRequest> reqs = {make_req(0, 0, 2), make_req(1, 0, 3)};
   alloc.run(r, reqs, 3, 1);
@@ -184,7 +195,7 @@ TEST(SeparableAllocator, GrantsNonConflictingRequests) {
 }
 
 TEST(SeparableAllocator, OneGrantPerOutput) {
-  Router r = make_router(4, 2);
+  TestRouter r = make_router(4, 2);
   SeparableAllocator alloc(4);
   std::vector<AllocRequest> reqs = {make_req(0, 0, 2), make_req(1, 0, 2),
                                     make_req(3, 0, 2)};
@@ -195,7 +206,7 @@ TEST(SeparableAllocator, OneGrantPerOutput) {
 }
 
 TEST(SeparableAllocator, OneGrantPerInput) {
-  Router r = make_router(4, 3);
+  TestRouter r = make_router(4, 3);
   SeparableAllocator alloc(4);
   std::vector<AllocRequest> reqs = {make_req(0, 0, 1), make_req(0, 1, 2),
                                     make_req(0, 2, 3)};
@@ -209,7 +220,7 @@ TEST(SeparableAllocator, IterationsRecoverFromStage1Conflicts) {
   // Input 0 has two VCs wanting outputs 1 and 2; input 1 wants output 1.
   // Bias output 1's LRS arbiter so input 1 wins it: input 0 then loses in
   // stage 2 and a second iteration must match its output-2 request.
-  Router r = make_router(4, 2);
+  TestRouter r = make_router(4, 2);
   r.output_arb[1].grant(0, 1);  // input 0 was served recently on output 1
   SeparableAllocator alloc(4);
   std::vector<AllocRequest> reqs = {make_req(0, 0, 1), make_req(0, 1, 2),
@@ -223,7 +234,7 @@ TEST(SeparableAllocator, IterationsRecoverFromStage1Conflicts) {
 }
 
 TEST(SeparableAllocator, SingleIterationMayLeaveWork) {
-  Router r = make_router(4, 2);
+  TestRouter r = make_router(4, 2);
   SeparableAllocator alloc(4);
   // LRS tie-break sends input 0's VC0 (to output 1) first; with one
   // iteration the out-2 request cannot be retried.
@@ -237,7 +248,7 @@ TEST(SeparableAllocator, SingleIterationMayLeaveWork) {
 }
 
 TEST(SeparableAllocator, FairAcrossInputsOverTime) {
-  Router r = make_router(3, 1);
+  TestRouter r = make_router(3, 1);
   SeparableAllocator alloc(3);
   std::array<int, 2> wins{};
   for (Cycle t = 1; t <= 100; ++t) {
@@ -252,7 +263,7 @@ TEST(SeparableAllocator, FairAcrossInputsOverTime) {
 }
 
 TEST(SeparableAllocator, ScratchIsCleanAcrossRuns) {
-  Router r = make_router(4, 2);
+  TestRouter r = make_router(4, 2);
   SeparableAllocator alloc(4);
   std::vector<AllocRequest> first = {make_req(0, 0, 3)};
   alloc.run(r, first, 3, 1);
@@ -303,7 +314,7 @@ TEST(OutputPort, OccupancyFraction) {
 // ----------------------------------------------------------- input port ----
 
 TEST(InputPort, BestFitVcPrefersEmptiestFittingVc) {
-  Router r = make_router(1, 3);  // three VCs of capacity 32
+  TestRouter r = make_router(1, 3);  // three VCs of capacity 32
   InputPort& in = r.inputs[0];
   in.vcs[0].push_whole_packet(1, 28);  // 4 free: cannot fit an 8-phit packet
   in.vcs[2].push_whole_packet(2, 8);   // 24 free
@@ -316,7 +327,7 @@ TEST(InputPort, BestFitVcPrefersEmptiestFittingVc) {
 }
 
 TEST(InputPort, BestFitVcFailsWhenFull) {
-  Router r = make_router(1, 2);
+  TestRouter r = make_router(1, 2);
   InputPort& in = r.inputs[0];
   in.vcs[0].push_whole_packet(1, 30);
   in.vcs[1].push_whole_packet(2, 26);
@@ -327,20 +338,80 @@ TEST(InputPort, BestFitVcFailsWhenFull) {
   EXPECT_EQ(vc, 1u);
 }
 
-// ------------------------------------------------------------ SoA pools ----
+// ----------------------------------------------------------- SoA arenas ----
 
-TEST(Router, PoolBindingIsContiguousAndPortMajor) {
-  Router r = make_router(3, 2);
-  ASSERT_EQ(r.fifo_pool.size(), 6u);
+TEST(ShardArena, InputBindingIsContiguousAndPortMajor) {
+  TestRouter r = make_router(3, 2);
+  ASSERT_EQ(r.arena.fifos.size(), 6u);
+  ASSERT_EQ(r.arena.head_busy.size(), 6u);
   for (u32 p = 0; p < 3; ++p) {
-    EXPECT_EQ(r.inputs[p].vcs.data(), r.fifo_pool.data() + p * 2);
-    EXPECT_EQ(r.inputs[p].head_busy.data(), r.head_busy_pool.data() + p * 2);
+    EXPECT_EQ(r.inputs[p].vcs.data(), r.arena.fifos.data() + p * 2);
+    EXPECT_EQ(r.inputs[p].head_busy.data(), r.arena.head_busy.data() + p * 2);
     EXPECT_EQ(r.inputs[p].vcs.size(), 2u);
   }
-  // Writes through the views land in the pool (and vice versa).
+  // Writes through the views land in the arena (and vice versa).
   r.inputs[1].head_busy[1] = 1;
-  EXPECT_EQ(r.head_busy_pool[3], 1u);
+  EXPECT_EQ(r.arena.head_busy[3], 1u);
+  // Every FIFO's ring slice lives inside the arena's slot block.
+  const VcFifo::Entry* lo = r.arena.fifo_slots.data();
+  const VcFifo::Entry* hi = lo + r.arena.fifo_slots.size();
+  for (const VcFifo& f : r.arena.fifos) {
+    EXPECT_GE(f.slots(), lo);
+    EXPECT_LT(f.slots(), hi);
+  }
 }
+
+TEST(ShardArena, CreditBindingIsContiguous) {
+  TestRouter r = make_router(2, 2);
+  r.arena.reserve_credit_state(4);
+  r.arena.bind_credits(r, 0, 2, 32);
+  r.arena.bind_credits(r, 1, 2, 16);
+  ASSERT_EQ(r.arena.credits.size(), 4u);
+  EXPECT_EQ(r.outputs[0].credits.data(), r.arena.credits.data());
+  EXPECT_EQ(r.outputs[1].credits.data(), r.arena.credits.data() + 2);
+  EXPECT_EQ(r.outputs[1].credits[0], 16u);
+  EXPECT_EQ(r.outputs[1].credit_cap[1], 16u);
+  // Writes through the view land in the arena.
+  r.outputs[0].credits[1] = 7;
+  EXPECT_EQ(r.arena.credits[1], 7u);
+}
+
+TEST(VcFifo, CloneShapeIsEmptyWithSameCapacity) {
+  TestRouter r = make_router(1, 1);
+  VcFifo& f = r.inputs[0].vcs[0];
+  f.push_whole_packet(9, 8);
+  VcFifo clone = f.clone_shape();
+  EXPECT_EQ(clone.capacity(), f.capacity());
+  EXPECT_TRUE(clone.empty());
+  EXPECT_EQ(clone.stored_phits(), 0u);
+  clone.push_whole_packet(1, 8);  // the clone owns its own ring
+  EXPECT_EQ(f.head(), 9u);
+}
+
+TEST(HeadView, MirrorsInputPortState) {
+  TestRouter r = make_router(1, 2);
+  r.inputs[0].vcs[0].push_whole_packet(4, 8);
+  r.inputs[0].head_busy[1] = 1;
+  HeadView view(r.inputs[0]);
+  EXPECT_EQ(view.num_vcs(), 2u);
+  EXPECT_FALSE(view.empty(0));
+  EXPECT_TRUE(view.empty(1));
+  EXPECT_EQ(view.head(0), 4u);
+  EXPECT_EQ(view.num_packets(0), 1u);
+  EXPECT_EQ(view.stored_phits(0), 8u);
+  EXPECT_EQ(view.head_arrived(0), 8u);
+  EXPECT_EQ(view.capacity(0), 32u);
+  EXPECT_TRUE(view.routable(0));
+  EXPECT_FALSE(view.head_in_flight(0));
+  EXPECT_TRUE(view.head_in_flight(1));
+}
+
+#ifndef NDEBUG
+TEST(VcFifoDeathTest, PushBeyondCapacityTripsDcheck) {
+  VcFifo f(32);
+  EXPECT_DEATH(f.push_whole_packet(1, 33), "capacity");
+}
+#endif
 
 }  // namespace
 }  // namespace ofar

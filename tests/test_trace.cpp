@@ -21,6 +21,8 @@
 
 #include "core/orchestrator.hpp"
 #include "core/spec.hpp"
+#include "routing/routing.hpp"
+#include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 #include "stats/sink.hpp"
 #include "stats/timeseries.hpp"
@@ -148,6 +150,18 @@ struct Crafted {
   Packet pkt;
 };
 
+/// Drives one crafted route() query the way do_allocation does: a CreditView
+/// bound to the router under test, wrapped with the packet into a
+/// RouteContext (in_vc 0, lane 0 — the serial kernel's values).
+RouteChoice call_route(Network& net, RouterId at, PortId in_port, Packet& pkt,
+                       RouteProvenance* prov) {
+  CreditView view;
+  view.init(net);
+  view.bind(net.router(at));
+  RouteContext ctx{net, view, at, in_port, 0, pkt, 0, prov};
+  return net.policy().route(ctx);
+}
+
 Crafted crafted_congestion(RoutingKind routing) {
   SimConfig cfg;
   cfg.h = 2;
@@ -187,9 +201,9 @@ TEST(RouteProvenanceTest, MinimalConditionWhenUncongested) {
   // Restore the drained credits: minimal must win on an idle network.
   Network fresh(c.net->config());
   RouteProvenance prov;
-  const RouteChoice choice = fresh.policy().route(
-      fresh, c.at, fresh.topo().node_port(fresh.topo().node_slot(c.src)), 0,
-      c.pkt, 0, &prov);
+  const RouteChoice choice = call_route(
+      fresh, c.at, fresh.topo().node_port(fresh.topo().node_slot(c.src)),
+      c.pkt, &prov);
   ASSERT_TRUE(choice.valid);
   EXPECT_EQ(choice.misroute, MisrouteKind::kNone);
   EXPECT_EQ(prov.condition, RouteCondition::kMinimal);
@@ -202,9 +216,8 @@ TEST(RouteProvenanceTest, InjectionQueueMisroutesGloballyAndRecordsIt) {
   Crafted c = crafted_congestion(RoutingKind::kOfar);
   const Dragonfly& topo = c.net->topo();
   RouteProvenance prov;
-  const RouteChoice choice = c.net->policy().route(
-      *c.net, c.at, topo.node_port(topo.node_slot(c.src)), 0, c.pkt, 0,
-      &prov);
+  const RouteChoice choice = call_route(
+      *c.net, c.at, topo.node_port(topo.node_slot(c.src)), c.pkt, &prov);
   ASSERT_TRUE(choice.valid);
   // Injection-queue packets in the source group misroute globally (§IV-A).
   ASSERT_EQ(choice.misroute, MisrouteKind::kGlobal);
@@ -224,8 +237,8 @@ TEST(RouteProvenanceTest, TransitQueueMisroutesLocallyAndRecordsIt) {
   Crafted c = crafted_congestion(RoutingKind::kOfar);
   const Dragonfly& topo = c.net->topo();
   RouteProvenance prov;
-  const RouteChoice choice = c.net->policy().route(
-      *c.net, c.at, topo.first_local_port(), 0, c.pkt, 0, &prov);
+  const RouteChoice choice =
+      call_route(*c.net, c.at, topo.first_local_port(), c.pkt, &prov);
   ASSERT_TRUE(choice.valid);
   // Transit queues try local misroute first (§IV-A starvation rule).
   ASSERT_EQ(choice.misroute, MisrouteKind::kLocal);
@@ -241,8 +254,8 @@ TEST(RouteProvenanceTest, OfarLRecordsGlobalEvenFromTransitQueue) {
   Crafted c = crafted_congestion(RoutingKind::kOfarL);
   const Dragonfly& topo = c.net->topo();
   RouteProvenance prov;
-  const RouteChoice choice = c.net->policy().route(
-      *c.net, c.at, topo.first_local_port(), 0, c.pkt, 0, &prov);
+  const RouteChoice choice =
+      call_route(*c.net, c.at, topo.first_local_port(), c.pkt, &prov);
   ASSERT_TRUE(choice.valid);
   ASSERT_EQ(choice.misroute, MisrouteKind::kGlobal);  // local disabled
   EXPECT_EQ(prov.condition, RouteCondition::kMisrouteGlobal);
@@ -256,8 +269,8 @@ TEST(RouteProvenanceTest, WaitAtDestinationRecordsWaitBusy) {
   for (auto& credits : c.net->router(dst_router).outputs[eject].credits)
     credits = 0;
   RouteProvenance prov;
-  const RouteChoice choice = c.net->policy().route(
-      *c.net, dst_router, topo.first_local_port(), 0, c.pkt, 0, &prov);
+  const RouteChoice choice =
+      call_route(*c.net, dst_router, topo.first_local_port(), c.pkt, &prov);
   EXPECT_FALSE(choice.valid);
   EXPECT_EQ(prov.condition, RouteCondition::kWaitBusy);
   EXPECT_EQ(prov.min_port, eject);
@@ -271,10 +284,8 @@ TEST(RouteProvenanceTest, NullProvenanceChangesNothing) {
   const Dragonfly& topo = a.net->topo();
   const PortId in = topo.node_port(topo.node_slot(a.src));
   RouteProvenance prov;
-  const RouteChoice with = a.net->policy().route(*a.net, a.at, in, 0, a.pkt,
-                                                 0, &prov);
-  const RouteChoice without = b.net->policy().route(*b.net, b.at, in, 0,
-                                                    b.pkt, 0, nullptr);
+  const RouteChoice with = call_route(*a.net, a.at, in, a.pkt, &prov);
+  const RouteChoice without = call_route(*b.net, b.at, in, b.pkt, nullptr);
   EXPECT_EQ(with.out_port, without.out_port);
   EXPECT_EQ(with.out_vc, without.out_vc);
   EXPECT_EQ(with.misroute, without.misroute);
