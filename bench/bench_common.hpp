@@ -28,6 +28,11 @@
 //                   (shim binaries default to no cache; ofar_run defaults
 //                   to .ofar-cache)
 //   --no-cache      force caching off even where a default cache applies
+//   --checkpoint-dir D      mid-point checkpoint/restart for steady points:
+//                           full simulation state saved per point key,
+//                           resumed bit-identically after a crash/SIGINT
+//   --checkpoint-interval C cycles between checkpoint refreshes
+//                           (default 100000)
 //   --stop-after N  stop scheduling new points after N have started
 //                   (deterministic interruption for resume tests)
 #pragma once
@@ -74,6 +79,8 @@ struct BenchOptions {
   // Orchestrator knobs: every bench executes through run_points() now.
   std::string cache_dir;  ///< "" = caching off (unless a default applies)
   bool no_cache = false;  ///< --no-cache wins over any default cache dir
+  std::string checkpoint_dir;      ///< "" = mid-point checkpointing off
+  Cycle checkpoint_interval = 100'000;
   std::size_t stop_after = 0;
   const std::atomic<bool>* stop_flag = nullptr;  ///< SIGINT, set by runner
 
@@ -104,6 +111,8 @@ struct BenchOptions {
     o.trace_sample = static_cast<u32>(cli.get_uint("trace-sample", 64));
     o.cache_dir = cli.get_string("cache-dir", "");
     o.no_cache = cli.get_flag("no-cache");
+    o.checkpoint_dir = cli.get_string("checkpoint-dir", "");
+    o.checkpoint_interval = cli.get_uint("checkpoint-interval", 100'000);
     o.stop_after = static_cast<std::size_t>(cli.get_uint("stop-after", 0));
     return o;
   }

@@ -896,6 +896,8 @@ int run_units(const std::vector<PresetUnit>& units, const BenchOptions& opts,
   oo.trace_out = opts.trace_out;
   oo.trace_links = opts.trace_links;
   oo.trace_sample = opts.trace_sample;
+  oo.checkpoint_dir = opts.checkpoint_dir;
+  oo.checkpoint_interval = opts.checkpoint_interval;
   oo.stop_flag = opts.stop_flag;
   oo.stop_after = opts.stop_after;
 

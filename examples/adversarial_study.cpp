@@ -34,8 +34,9 @@ LinkProfile profile_links(const Network& net, Cycle cycles) {
   LinkProfile p;
   u64 nl = 0, ng = 0;
   for (ChannelId c = 0; c < net.num_channels(); ++c) {
-    const Channel& ch = net.channel(c);
-    const double util = static_cast<double>(ch.phits_carried) / cycles;
+    if (!net.channel_wired(c)) continue;
+    const Channel ch = net.channel(c);
+    const double util = static_cast<double>(net.channel_phits(c)) / cycles;
     if (ch.cls == ChannelClass::kLocal) {
       p.mean_local += util;
       p.max_local = std::max(p.max_local, util);

@@ -1,0 +1,117 @@
+// Binary stream primitives for checkpoint files (core/checkpoint.hpp).
+//
+// Deliberately minimal: fixed-width little-endian scalars, raw POD spans
+// and length-prefixed strings over a std::FILE*. Checkpoints are tied to
+// the build that wrote them (native endianness and struct layout — the
+// header's config signature and version gate any mismatch), so no
+// portability machinery is needed. Both ends carry a sticky ok() flag: the
+// first short read/write poisons the stream and every later call is a
+// no-op, so callers validate once at the end instead of per field.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ofar {
+
+class CkptWriter {
+ public:
+  explicit CkptWriter(std::FILE* f) noexcept : f_(f) {}
+
+  void put_u8(u8 v) { raw(&v, sizeof v); }
+  void put_u16(u16 v) { raw(&v, sizeof v); }
+  void put_u32(u32 v) { raw(&v, sizeof v); }
+  void put_u64(u64 v) { raw(&v, sizeof v); }
+  void put_f64(double v) { raw(&v, sizeof v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  void put_str(const std::string& s) {
+    put_u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void put_rng(const Rng& rng) {
+    for (u64 s : rng.save_state()) put_u64(s);
+  }
+
+  /// Raw bytes of `count` trivially-copyable elements.
+  template <typename T>
+  void put_pod_span(const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(data, count * sizeof(T));
+  }
+
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    if (!ok_ || n == 0) return;
+    ok_ = std::fwrite(p, 1, n, f_) == n;
+  }
+
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class CkptReader {
+ public:
+  explicit CkptReader(std::FILE* f) noexcept : f_(f) {}
+
+  u8 get_u8() { return get<u8>(); }
+  u16 get_u16() { return get<u16>(); }
+  u32 get_u32() { return get<u32>(); }
+  u64 get_u64() { return get<u64>(); }
+  double get_f64() { return get<double>(); }
+  bool get_bool() { return get_u8() != 0; }
+
+  /// Length-prefixed string; lengths above `max_len` poison the stream
+  /// (corrupt length field) instead of attempting a huge allocation.
+  std::string get_str(std::size_t max_len = 1u << 20) {
+    const u64 n = get_u64();
+    if (n > max_len) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(static_cast<std::size_t>(n), '\0');
+    raw(s.data(), s.size());
+    return ok_ ? s : std::string{};
+  }
+
+  void get_rng(Rng& rng) {
+    std::array<u64, 4> s{};
+    for (u64& v : s) v = get_u64();
+    if (ok_) rng.load_state(s);
+  }
+
+  template <typename T>
+  void get_pod_span(T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(data, count * sizeof(T));
+  }
+
+  bool ok() const noexcept { return ok_; }
+  /// Manual poisoning for semantic validation failures (bad counts).
+  void fail() noexcept { ok_ = false; }
+
+ private:
+  template <typename T>
+  T get() {
+    T v{};
+    raw(&v, sizeof v);
+    return ok_ ? v : T{};
+  }
+
+  void raw(void* p, std::size_t n) {
+    if (!ok_ || n == 0) return;
+    ok_ = std::fread(p, 1, n, f_) == n;
+  }
+
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace ofar

@@ -112,6 +112,22 @@ struct SimConfig {
   /// experiment content keys. Clamped to the router count at construction.
   u32 sim_shards = 1;
 
+  /// Align shard boundaries to group multiples (group-major partitioning):
+  /// a shard's working set becomes a whole number of groups' cache
+  /// footprint. SEMANTIC for the same reason as sim_shards — it moves
+  /// routers between shard lanes, so K > 1 digests differ from the default
+  /// contiguous split. Participates in experiment content keys.
+  bool shard_group_major = false;
+
+  // ---- wiring mode (scale work, DESIGN.md §"Scale") ----
+  /// Debug/reference mode: materialize the dense channel table and build
+  /// every router eagerly at construction, exactly like the pre-implicit
+  /// simulator. The default (false) resolves channels arithmetically on the
+  /// fly and builds router state lazily on first touch. NOT semantic — both
+  /// modes produce bit-identical results (tested) — so it is excluded from
+  /// experiment content keys.
+  bool wiring_table = false;
+
   // ---- bookkeeping ----
   u64 seed = 1;
   u32 deadlock_timeout = 200'000;  ///< watchdog: max cycles a head may stall

@@ -72,6 +72,11 @@ class Rng {
   /// Bernoulli trial with probability p.
   bool chance(double p) noexcept { return uniform() < p; }
 
+  /// Raw generator state (checkpoint/restart). load_state resumes the
+  /// stream at exactly the draw save_state was taken at.
+  std::array<u64, 4> save_state() const noexcept { return state_; }
+  void load_state(const std::array<u64, 4>& s) noexcept { state_ = s; }
+
   /// Integer threshold form of chance(): a raw draw x passes the trial iff
   /// (x >> 11) < chance_threshold(p). Exactly equivalent to chance(p) —
   /// uniform() is (x >> 11) * 2^-53 with both sides of the comparison exact,

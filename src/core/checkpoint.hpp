@@ -1,0 +1,66 @@
+// Deterministic checkpoint/restart of the full simulation state
+// (DESIGN.md §"Scale").
+//
+// A checkpoint captures everything that determines future simulation
+// behaviour — the cycle clock, every RNG stream (network, policy lanes,
+// traffic source), the packet pool verbatim (including the LIFO free list,
+// whose order decides future id assignment), per-node offer queues, every
+// built router's FIFO/credit/arbiter/transfer state, the activity
+// worklists, the in-flight event wheels, lifetime counters and the open
+// Stats window. Restoring into a freshly constructed Network of the SAME
+// config (validated via spec's canonical config signature + seed) and then
+// stepping produces the bit-identical continuation of the original run, at
+// any sim_threads.
+//
+// NOT captured: instrumentation (telemetry, tracers, the invariant
+// auditor). All of it is read-only with respect to simulation outcomes, so
+// a resumed run's *results* are unaffected; mid-run instrumentation output
+// simply restarts at the resume point.
+//
+// Format: native-endian binary (common/ckpt_stream.hpp), tied to the build
+// that wrote it; a magic/version/signature header rejects anything else.
+// save() writes to "<path>.tmp" and renames, so a crash mid-write leaves
+// the previous checkpoint intact.
+#pragma once
+
+#include <string>
+
+namespace ofar {
+
+class Network;
+class CkptWriter;
+class CkptReader;
+class VcFifo;
+class TimeSeries;
+class Stats;
+
+class CheckpointIO {
+ public:
+  /// Serializes the network's full simulation state to `path` (atomic
+  /// tmp+rename). Returns false (with `error` filled when non-null) on any
+  /// I/O failure.
+  static bool save(const Network& net, const std::string& path,
+                   std::string* error = nullptr);
+
+  /// Restores a checkpoint into `net`, which must be freshly constructed
+  /// from the same SimConfig (same seed included) with its traffic source
+  /// already installed. Returns false without touching `net` when the file
+  /// is missing; aborts the restore (false + error) on a signature or
+  /// format mismatch.
+  static bool restore(Network& net, const std::string& path,
+                      std::string* error = nullptr);
+
+ private:
+  static void write_state(CkptWriter& w, const Network& net);
+  static bool read_state(CkptReader& r, Network& net, std::string* error);
+  // Per-component serializers; members (not free helpers) because they
+  // exercise the `friend class CheckpointIO` grants of their targets.
+  static void write_fifo(CkptWriter& w, const VcFifo& f);
+  static bool read_fifo(CkptReader& r, VcFifo& f);
+  static void write_series(CkptWriter& w, const TimeSeries& ts);
+  static bool read_series(CkptReader& r, TimeSeries& ts);
+  static void write_stats(CkptWriter& w, const Stats& s);
+  static bool read_stats(CkptReader& r, Stats& s);
+};
+
+}  // namespace ofar

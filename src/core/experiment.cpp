@@ -1,9 +1,11 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
 #include "common/parallel.hpp"
+#include "core/checkpoint.hpp"
 #include "sim/network.hpp"
 #include "stats/sink.hpp"
 #include "trace/trace.hpp"
@@ -80,9 +82,31 @@ SteadyResult run_steady(const SimConfig& cfg, const TrafficPattern& pattern,
   char suffix[32];
   std::snprintf(suffix, sizeof suffix, "load=%g", load);
   params.arm(net, suffix);
-  net.run(params.warmup);
-  net.stats().reset(net.now());
-  net.run(params.measure);
+
+  // Checkpoint/restart (core/checkpoint.hpp): resume from an existing
+  // snapshot if one matches, then run in interval-sized chunks with a
+  // refresh between chunks. A cold run with no checkpoint path takes the
+  // two plain run() calls below — same cycles, same results.
+  const bool ckpt = !params.checkpoint_path.empty();
+  if (ckpt) CheckpointIO::restore(net, params.checkpoint_path);
+  const auto run_to = [&](Cycle target) {
+    while (net.now() < target) {
+      Cycle chunk = target - net.now();
+      if (ckpt && params.checkpoint_interval > 0)
+        chunk = std::min(chunk, params.checkpoint_interval);
+      net.run(chunk);
+      if (ckpt && net.now() < target)
+        CheckpointIO::save(net, params.checkpoint_path);
+    }
+  };
+  if (net.now() < params.warmup) {
+    run_to(params.warmup);
+    net.stats().reset(net.now());
+    // Snapshot the post-reset boundary so a resume never repeats warmup.
+    if (ckpt) CheckpointIO::save(net, params.checkpoint_path);
+  }
+  run_to(params.warmup + params.measure);
+  if (ckpt) std::remove(params.checkpoint_path.c_str());
   if (net.telemetry() != nullptr) net.telemetry()->write_summary(net);
 
   const Stats& s = net.stats();

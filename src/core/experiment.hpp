@@ -67,6 +67,18 @@ struct ExperimentCommon {
   /// key. 0 means 1 (sequential). Ignored when sim_shards == 1.
   unsigned sim_threads = 1;
 
+  // ---- optional checkpoint/restart (core/checkpoint.hpp). Steady runs
+  // only (the big-topology protocol); a checkpointed run restored mid-way
+  // continues bit-identically, so results and cache keys are unchanged.
+  /// Checkpoint file for this run; "" disables. When the file exists and
+  /// matches the config, the run resumes from it instead of starting at
+  /// cycle 0; it is refreshed every checkpoint_interval cycles and deleted
+  /// once the run completes.
+  std::string checkpoint_path;
+  /// Cycles between checkpoint refreshes (0: only the warmup-boundary
+  /// snapshot is written).
+  Cycle checkpoint_interval = 100'000;
+
   /// Wires auditing, tracing and telemetry into a freshly built network.
   /// The telemetry record label and trace label are
   /// "<metrics_label>|<label_suffix>" (either part optional). Called by

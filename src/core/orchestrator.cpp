@@ -272,6 +272,13 @@ RunReport run_points(const std::vector<RunPoint>& points,
 
   std::map<std::string, CacheEntry> cache;
   std::FILE* journal = nullptr;
+  if (!opts.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.checkpoint_dir, ec);
+    if (ec)
+      std::fprintf(stderr, "warning: cannot create checkpoint dir %s: %s\n",
+                   opts.checkpoint_dir.c_str(), ec.message().c_str());
+  }
   if (!opts.cache_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(opts.cache_dir, ec);
@@ -370,6 +377,11 @@ RunReport run_points(const std::vector<RunPoint>& points,
         case RunKind::kSteady: {
           RunParams run = p.run;
           arm_common(run);
+          if (!opts.checkpoint_dir.empty()) {
+            run.checkpoint_path =
+                opts.checkpoint_dir + "/" + o.key + ".ckpt";
+            run.checkpoint_interval = opts.checkpoint_interval;
+          }
           o.steady = run_steady(p.cfg, p.pattern, p.load, run);
           break;
         }

@@ -67,6 +67,16 @@ struct OrchestratorOptions {
   Cycle trace_link_bucket = 256;  ///< link-series bucket width, cycles
   u32 trace_flight_depth = 64;    ///< flight-recorder events/router
 
+  // Mid-point checkpoint/restart (core/checkpoint.hpp) for steady points:
+  // each executing point snapshots its full simulation state to
+  // <checkpoint_dir>/<point key>.ckpt every checkpoint_interval cycles and
+  // resumes from it after a crash or SIGINT — complementing the journal,
+  // which only resumes at completed-point granularity. The file is deleted
+  // when the point completes. "" disables. Result-invariant: a resumed
+  // point is bit-identical to an uninterrupted one.
+  std::string checkpoint_dir;
+  Cycle checkpoint_interval = 100'000;
+
   /// Cooperative stop (e.g. SIGINT): checked before each point starts;
   /// in-flight points finish and journal, the rest stay missing.
   const std::atomic<bool>* stop_flag = nullptr;

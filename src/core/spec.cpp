@@ -130,6 +130,10 @@ void append_config(std::string& out, const SimConfig& cfg) {
   append_u64(out, cfg.deadlock_timeout);
   out += ";shards=";
   append_u64(out, cfg.sim_shards);
+  out += ";sgm=";
+  out += cfg.shard_group_major ? '1' : '0';
+  // cfg.wiring_table is deliberately absent: it is a debug/reference
+  // execution mode with bit-identical results, not a semantic knob.
   out += '}';
 }
 
@@ -207,6 +211,16 @@ std::string content_digest(const std::string& text) {
 
 std::string point_key(const RunPoint& point) {
   return content_digest(canonical_point(point));
+}
+
+std::string config_signature(const SimConfig& cfg) {
+  std::string out = "ckpt-v";
+  append_u64(out, kSpecSchemaVersion);
+  out += ';';
+  append_config(out, cfg);
+  out += ";seed=";
+  append_u64(out, cfg.seed);
+  return out;
 }
 
 std::vector<std::string> ExperimentSpec::case_names() const {
@@ -536,6 +550,10 @@ bool apply_config_json(const JsonValue& obj, SimConfig& cfg,
       ok = get_u32(value, key, cfg.deadlock_timeout, error);
     else if (key == "sim_shards")
       ok = get_u32(value, key, cfg.sim_shards, error);
+    else if (key == "shard_group_major")
+      ok = get_bool(value, key, cfg.shard_group_major, error);
+    else if (key == "wiring_table")
+      ok = get_bool(value, key, cfg.wiring_table, error);
     else if (key == "thresholds")
       ok = parse_thresholds_json(value, cfg.thresholds, error);
     else {

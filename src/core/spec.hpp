@@ -36,7 +36,8 @@ class JsonValue;
 
 /// Cache-key schema version (see file comment for the bump discipline).
 /// v2: SimConfig::sim_shards joined the canonical config rendering.
-inline constexpr u32 kSpecSchemaVersion = 2;
+/// v3: SimConfig::shard_group_major joined (group-aligned shard split).
+inline constexpr u32 kSpecSchemaVersion = 3;
 
 enum class RunKind : u8 { kSteady, kTransient, kBurst };
 const char* to_string(RunKind kind) noexcept;
@@ -144,6 +145,12 @@ std::string point_key(const RunPoint& point);
 /// whole-run results digest: two independent FNV-1a 64 passes over `text`,
 /// rendered as 32 hex digits. Stable across platforms and processes.
 std::string content_digest(const std::string& text);
+
+/// Canonical rendering of (schema version, full semantic SimConfig, seed):
+/// everything a checkpoint must match to be restorable into a freshly
+/// constructed Network. Same canonical config text as the cache keys, so
+/// the two validation layers can never drift apart.
+std::string config_signature(const SimConfig& cfg);
 
 /// Renders a double in shortest round-trip form (std::to_chars): the one
 /// double format used by canonical keys and the result journal.

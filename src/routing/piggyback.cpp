@@ -1,5 +1,6 @@
 #include "routing/piggyback.hpp"
 
+#include "common/ckpt_stream.hpp"
 #include "routing/ugal.hpp"
 #include "sim/network.hpp"
 
@@ -20,6 +21,7 @@ void PiggybackPolicy::tick(Network& net) {
   const Dragonfly& topo = net.topo();
   const PortId first_global = topo.first_global_port();
   for (RouterId r = 0; r < topo.routers(); ++r) {
+    if (!net.router_built(r)) continue;  // untouched: flags stay clear
     const Router& router = net.router(r);
     for (u32 j = 0; j < h_; ++j) {
       const OutputPort& out = router.outputs[first_global + j];
@@ -35,6 +37,32 @@ void PiggybackPolicy::tick(Network& net) {
     visible_ = current_;
     last_broadcast_ = net.now();
   }
+}
+
+void PiggybackPolicy::save_state(CkptWriter& w) const {
+  ValiantPolicy::save_state(w);
+  w.put_bool(initialised_);
+  w.put_u32(h_);
+  w.put_u64(last_broadcast_);
+  w.put_u64(current_.size());
+  w.put_pod_span(current_.data(), current_.size());
+  w.put_pod_span(visible_.data(), visible_.size());
+}
+
+void PiggybackPolicy::load_state(CkptReader& r) {
+  ValiantPolicy::load_state(r);
+  initialised_ = r.get_bool();
+  h_ = r.get_u32();
+  last_broadcast_ = r.get_u64();
+  const u64 n = r.get_u64();
+  if (!r.ok() || n > (u64{1} << 32)) {
+    r.fail();
+    return;
+  }
+  current_.assign(n, 0);
+  visible_.assign(n, 0);
+  r.get_pod_span(current_.data(), current_.size());
+  r.get_pod_span(visible_.data(), visible_.size());
 }
 
 void PiggybackPolicy::on_inject(Network& net, Packet& pkt, RouterId at) {

@@ -22,6 +22,8 @@ namespace ofar {
 
 class Network;
 class CreditView;
+class CkptWriter;
+class CkptReader;
 
 enum class MisrouteKind : u8 { kNone, kLocal, kGlobal };
 
@@ -152,6 +154,13 @@ class RoutingPolicy {
   /// Per-cycle global update hook (PB's intra-group broadcast). Always
   /// called serially, between event delivery and the transfer phase.
   OFAR_SERIAL_ONLY virtual void tick(Network& net);
+
+  /// Checkpoint hooks (core/checkpoint.hpp): serialize the policy's mutable
+  /// state — RNG streams, broadcast tables — so a restored run replays the
+  /// exact draw sequence. load_state must consume exactly what save_state
+  /// produced; the defaults write/read nothing (stateless policies).
+  OFAR_SERIAL_ONLY virtual void save_state(CkptWriter& w) const;
+  OFAR_SERIAL_ONLY virtual void load_state(CkptReader& r);
 };
 
 /// Builds the policy selected by cfg.routing (OFAR variants live in

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/ckpt_stream.hpp"
 #include "sim/flat_state.hpp"
 #include "sim/network.hpp"
 
@@ -16,6 +17,22 @@ void ValiantPolicy::bind_lanes(u32 lanes) {
   lane_rngs_.reserve(lanes > 0 ? lanes - 1 : 0);
   for (u32 l = 1; l < lanes; ++l)
     lane_rngs_.emplace_back(seed_ ^ (0x9E3779B97F4A7C15ULL * l));
+}
+
+void ValiantPolicy::save_state(CkptWriter& w) const {
+  w.put_rng(rng_);
+  w.put_u32(static_cast<u32>(lane_rngs_.size()));
+  for (const Rng& r : lane_rngs_) w.put_rng(r);
+}
+
+void ValiantPolicy::load_state(CkptReader& r) {
+  r.get_rng(rng_);
+  const u32 n = r.get_u32();
+  if (n != lane_rngs_.size()) {  // lane layout is fixed by bind_lanes
+    r.fail();
+    return;
+  }
+  for (Rng& lane : lane_rngs_) r.get_rng(lane);
 }
 
 void ValiantPolicy::assign_intermediate(Network& net, Packet& pkt,

@@ -14,6 +14,8 @@
 
 namespace ofar {
 
+class CheckpointIO;
+
 class LrsArbiter {
  public:
   LrsArbiter() = default;
@@ -67,6 +69,8 @@ class LrsArbiter {
   Cycle last_grant(u32 candidate) const { return last_grant_[candidate]; }
 
  private:
+  friend class CheckpointIO;  // serializes last_grant_ (LRS fairness state)
+
   std::vector<Cycle> last_grant_;
 };
 

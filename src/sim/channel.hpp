@@ -2,10 +2,13 @@
 //
 // Channels carry one phit per cycle with a fixed wire latency; phit and
 // credit propagation are executed by the Network's event wheels, so Channel
-// itself is plain data plus a utilisation counter.
+// itself is plain data. Channel ids are *dense*: id = src_router * ports +
+// src_port, so a descriptor is pure arithmetic over the topology and the
+// Network resolves one on the fly (implicit wiring) instead of keeping a
+// materialized table. Utilisation lives in Network::channel_phits_ (flat,
+// indexed by the same dense id).
 #pragma once
 
-#include "common/phase.hpp"
 #include "common/types.hpp"
 
 namespace ofar {
@@ -20,9 +23,11 @@ enum class ChannelClass : u8 {
 
 const char* to_string(ChannelClass c) noexcept;
 
-// Shard-local: a channel is owned by its source router's shard (which is
-// the shard that advances transfers over it and bumps phits_carried).
-struct OFAR_SHARD_LOCAL Channel {
+// Plain value type: resolved arithmetically per query in implicit-wiring
+// mode, or read from the reference table in wiring-table mode. Either way a
+// descriptor is immutable data — the shard-ownership story lives with the
+// flat utilisation counters in Network.
+struct Channel {
   RouterId src_router = 0;
   PortId src_port = 0;
   // Destination: a router input port, or a node for ejection channels.
@@ -31,7 +36,6 @@ struct OFAR_SHARD_LOCAL Channel {
   NodeId dst_node = 0;  ///< valid only when cls == kEjection
   u32 latency = 1;
   ChannelClass cls = ChannelClass::kLocal;
-  u64 phits_carried = 0;  ///< utilisation counter (§III link-load analysis)
 
   bool is_ejection() const noexcept { return cls == ChannelClass::kEjection; }
 };

@@ -20,6 +20,8 @@
 
 namespace ofar {
 
+class CheckpointIO;
+
 // Shard-local: fifos live inside Router input/output units; the owning
 // shard is the only writer during parallel phases (pushes from the
 // serial delivery commit target the destination router's shard state).
@@ -43,6 +45,23 @@ class OFAR_SHARD_LOCAL VcFifo {
     return slots;
   }
 
+  /// Packet-granularity sizing: with virtual cut-through credit accounting
+  /// every resident entry except the (possibly partially drained) head holds
+  /// a whole `min_packet_phits`-phit packet's worth of upstream credits, so
+  /// at most floor((capacity-1)/S) + 1 entries can coexist. At the paper's
+  /// S=8 this shrinks the 256-phit global FIFO ring from 512 slots to 32 —
+  /// the dominant per-router allocation at h=16 scale. A mixed-size workload
+  /// must pass its *smallest* packet size; OFAR_DCHECK(num_packets() <=
+  /// mask_) in the push paths backstops the bound in checked builds.
+  static u32 slots_for(u32 capacity_phits, u32 min_packet_phits) noexcept {
+    const u32 s = min_packet_phits == 0 ? 1 : min_packet_phits;
+    const u32 entries =
+        capacity_phits == 0 ? 1 : (capacity_phits - 1) / s + 1;
+    u32 slots = 2;
+    while (slots < entries) slots <<= 1;
+    return slots;
+  }
+
   VcFifo() = default;
 
   /// Owning mode (tests, standalone fixtures): allocates its own ring.
@@ -55,10 +74,15 @@ class OFAR_SHARD_LOCAL VcFifo {
   /// Arena mode: `slots` must point at slots_for(capacity_phits) zeroed
   /// entries that outlive this FIFO (the shard arena guarantees both).
   VcFifo(u32 capacity_phits, Entry* slots)
-      : capacity_(capacity_phits),
-        mask_(slots_for(capacity_phits) - 1),
-        entries_(slots) {
+      : VcFifo(capacity_phits, slots, slots_for(capacity_phits)) {}
+
+  /// Arena mode with an explicit ring size (packet-granularity sizing):
+  /// `slots` must point at `slot_count` zeroed entries (power of two) that
+  /// outlive this FIFO.
+  VcFifo(u32 capacity_phits, Entry* slots, u32 slot_count)
+      : capacity_(capacity_phits), mask_(slot_count - 1), entries_(slots) {
     OFAR_DCHECK(capacity_phits <= 0xFFFFu);  // Entry::arrived/sent are u16
+    OFAR_DCHECK(slot_count >= 2 && (slot_count & (slot_count - 1)) == 0);
   }
 
   VcFifo(VcFifo&&) = default;
@@ -136,13 +160,24 @@ class OFAR_SHARD_LOCAL VcFifo {
   }
 
  private:
+  friend class CheckpointIO;  // serializes head_/tail_/stored_ + live entries
+
   u32 capacity_ = 0;
   u32 stored_ = 0;
+  // head_/tail_ are deliberately u32 despite counting every packet that ever
+  // transited the FIFO: all uses are either the difference tail_ - head_
+  // (bounded by the ring size) or masked indexing, both of which are exact
+  // under u32 wraparound. A u64 here would double the control-word footprint
+  // of every VC at h=16 scale for no behavioural difference.
   u32 head_ = 0;  // monotonically increasing; index via & mask_
   u32 tail_ = 0;
   u32 mask_ = 0;
   Entry* entries_ = nullptr;          // ring (arena slice or owned_)
   std::unique_ptr<Entry[]> owned_;    // set only in owning mode
 };
+
+static_assert(sizeof(VcFifo::Entry) == 8,
+              "ring slots are the largest per-VC allocation at scale; "
+              "keep Entry at one machine word");
 
 }  // namespace ofar

@@ -4,10 +4,12 @@
 // FIFO/credit state (see DESIGN.md §10 "Memory layout"). This module packs
 // that hot working set into per-shard SoA arenas:
 //
-//   * ShardArena — one contiguous block per shard for FIFO control words,
-//     FIFO ring slots, head-busy flags and credit counters. Routers hold
-//     Span views into the arena, so a shard's allocation scan walks a few
-//     flat arrays instead of hopping between per-router heap vectors.
+//   * ShardArena — chunked stable-address pools per shard for FIFO control
+//     words, FIFO ring slots, head-busy flags and credit counters. Routers
+//     hold Span views into the chunks, so a shard's allocation scan walks a
+//     few flat arrays instead of hopping between per-router heap vectors,
+//     and routers can be bound lazily on first touch (untouched routers
+//     cost nothing at h=16 scale).
 //   * HeadView — read-only façade over one input port's per-VC head state;
 //     the auditor, telemetry and deadlock forensics consume FIFO state
 //     through it, so the packed layout can change freely underneath them.
@@ -22,6 +24,7 @@
 // Digests are therefore bit-identical with and without the cache.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/check.hpp"
@@ -35,59 +38,84 @@ namespace ofar {
 
 class Network;
 
+/// Chunked stable-address pool: allocations are carved contiguously out of
+/// large chunks and the chunks themselves never move or shrink, so a Span
+/// handed out by alloc() stays valid for the pool's lifetime. This is what
+/// lets router state be bound *lazily* (on first touch) instead of demanding
+/// an exact up-front reserve: the old exact-reserve arena would dangle every
+/// bound Span on growth. Elements are value-initialised (zeroed PODs).
+template <typename T>
+class ChunkPool {
+ public:
+  /// ~64 KiB chunks for the POD payloads; a request larger than the default
+  /// chunk gets a dedicated chunk of its own size.
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  T* alloc(std::size_t n) {
+    if (used_ + n > cap_) {
+      const std::size_t def = kChunkBytes / sizeof(T) == 0
+                                  ? std::size_t{1}
+                                  : kChunkBytes / sizeof(T);
+      const std::size_t sz = n > def ? n : def;
+      chunks_.emplace_back(new T[sz]());
+      used_ = 0;
+      cap_ = sz;
+    }
+    T* p = chunks_.back().get() + used_;
+    used_ += n;
+    total_ += n;
+    return p;
+  }
+
+  /// Elements handed out so far (allocation accounting, tests).
+  std::size_t size() const noexcept { return total_; }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t used_ = 0;   // into the current (last) chunk
+  std::size_t cap_ = 0;    // of the current chunk
+  std::size_t total_ = 0;
+};
+
 // Shard-local: one arena per ShardState; only the owning shard touches the
 // backing storage during parallel phases (via the Router spans bound here).
+// Backed by ChunkPools, so bind_* may be called at any time — including from
+// the owning shard's parallel delivery phase when a router is built lazily
+// on its first event — without invalidating previously bound Spans.
 struct OFAR_SHARD_LOCAL ShardArena {
-  std::vector<VcFifo> fifos;              ///< control blocks, router/port/VC-major
-  std::vector<VcFifo::Entry> fifo_slots;  ///< ring storage backing `fifos`
-  std::vector<u8> head_busy;              ///< parallel to `fifos`
-  std::vector<u32> credits;               ///< output credit counters
-  std::vector<u32> credit_caps;           ///< parallel to `credits`
+  ChunkPool<VcFifo> fifos;              ///< control blocks, router/port/VC-major
+  ChunkPool<VcFifo::Entry> fifo_slots;  ///< ring storage backing `fifos`
+  ChunkPool<u8> head_busy;              ///< parallel to `fifos`
+  ChunkPool<u32> credits;               ///< output credit counters
+  ChunkPool<u32> credit_caps;           ///< parallel to `credits`
 
-  // Pre-reserve contract: each vector is reserved to its exact final size
-  // before the first bind_* call — the Router spans point into the arena
-  // and would dangle across a reallocation. The bind helpers DCHECK it.
-
-  void reserve_input_state(std::size_t total_vcs, std::size_t total_slots) {
-    fifos.reserve(total_vcs);
-    head_busy.reserve(total_vcs);
-    fifo_slots.reserve(total_slots);
-  }
-
-  void reserve_credit_state(std::size_t total_vcs) {
-    credits.reserve(total_vcs);
-    credit_caps.reserve(total_vcs);
-  }
-
-  /// Appends `count` FIFOs of `capacity` phits (control block + ring slots)
-  /// and binds `r.inputs[port]`'s views onto them.
-  void bind_inputs(Router& r, PortId port, u32 count, u32 capacity) {
-    OFAR_DCHECK(fifos.size() + count <= fifos.capacity());
-    OFAR_DCHECK(head_busy.size() + count <= head_busy.capacity());
-    const std::size_t at = fifos.size();
+  /// Carves `count` FIFOs of `capacity` phits (control block + a
+  /// `slots_per_vc`-entry ring each) and binds `r.inputs[port]`'s views
+  /// onto them.
+  void bind_inputs(Router& r, PortId port, u32 count, u32 capacity,
+                   u32 slots_per_vc) {
+    VcFifo* f = fifos.alloc(count);
+    u8* hb = head_busy.alloc(count);
     for (u32 v = 0; v < count; ++v) {
-      const u32 slots = VcFifo::slots_for(capacity);
-      OFAR_DCHECK(fifo_slots.size() + slots <= fifo_slots.capacity());
-      const std::size_t s = fifo_slots.size();
-      fifo_slots.resize(s + slots);  // value-initialised ring slice
-      fifos.emplace_back(capacity, fifo_slots.data() + s);
-      head_busy.push_back(0);
+      VcFifo::Entry* slots = fifo_slots.alloc(slots_per_vc);
+      f[v] = VcFifo(capacity, slots, slots_per_vc);
+      hb[v] = 0;
     }
-    r.inputs[port].vcs = Span<VcFifo>(fifos.data() + at, count);
-    r.inputs[port].head_busy = Span<u8>(head_busy.data() + at, count);
+    r.inputs[port].vcs = Span<VcFifo>(f, count);
+    r.inputs[port].head_busy = Span<u8>(hb, count);
   }
 
-  /// Appends `count` credit counters initialised to `value` and binds
+  /// Carves `count` credit counters initialised to `value` and binds
   /// `r.outputs[port]`'s views onto them.
   void bind_credits(Router& r, PortId port, u32 count, u32 value) {
-    OFAR_DCHECK(credits.size() + count <= credits.capacity());
-    const std::size_t at = credits.size();
+    u32* c = credits.alloc(count);
+    u32* cc = credit_caps.alloc(count);
     for (u32 v = 0; v < count; ++v) {
-      credits.push_back(value);
-      credit_caps.push_back(value);
+      c[v] = value;
+      cc[v] = value;
     }
-    r.outputs[port].credits = Span<u32>(credits.data() + at, count);
-    r.outputs[port].credit_cap = Span<u32>(credit_caps.data() + at, count);
+    r.outputs[port].credits = Span<u32>(c, count);
+    r.outputs[port].credit_cap = Span<u32>(cc, count);
   }
 };
 

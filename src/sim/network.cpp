@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/thread_annotations.hpp"
@@ -41,24 +42,56 @@ Network::Network(const SimConfig& cfg)
 
   const u32 ports = topo_.ports_per_router();
   const u32 num_routers = topo_.routers();
+  ports_per_router_ = ports;
   OFAR_CHECK_MSG(ports <= 64, "active-output bitmask is 64 bits wide");
 
+  // ---- id-width validation against the topology trait ----
+  // All entity counts are computed in u64 and checked against the compact
+  // 32-bit id types BEFORE any truncating arithmetic runs, so an oversized
+  // request fails loudly instead of wrapping. The invalid sentinels must
+  // stay representable, hence the strict compares.
+  {
+    const u32 max_vcs =
+        std::max({cfg_.vcs_injection, cfg_.vcs_local, cfg_.vcs_global}) +
+        (cfg_.ring == RingKind::kEmbedded ? 1u : 0u);
+    const Dragonfly::Limits lim = topo_.limits(max_vcs);
+    OFAR_CHECK_MSG(lim.routers < kInvalidRouter,
+                   "router count must fit RouterId");
+    OFAR_CHECK_MSG(lim.nodes < std::numeric_limits<NodeId>::max(),
+                   "node count must fit NodeId");
+    OFAR_CHECK_MSG(lim.channels < kInvalidChannel,
+                   "dense channel ids (routers * ports) must fit ChannelId");
+    OFAR_CHECK_MSG(lim.ports < kInvalidPort, "port count must fit PortId");
+  }
+
   // ---- shard partition (DESIGN.md §10) ----
-  // Contiguous router ranges of near-equal size; nodes follow their router.
-  // K = 1 (the default) is the sequential kernel. The partition depends
-  // only on (routers, sim_shards), never on thread count. It is computed
-  // before router construction because the per-VC hot state lives in
-  // per-shard arenas (sim/flat_state.hpp).
+  // Contiguous router ranges; nodes follow their router. K = 1 (the
+  // default) is the sequential kernel. The partition depends only on
+  // (routers, sim_shards, shard_group_major), never on thread count. It is
+  // computed before router construction because the per-VC hot state lives
+  // in per-shard arenas (sim/flat_state.hpp).
   const u32 shard_count =
       std::min(std::max(cfg_.sim_shards, 1u), num_routers);
   shards_.resize(shard_count);
   shard_of_router_.assign(num_routers, 0);
   for (u32 s = 0; s < shard_count; ++s) {
     ShardState& sh = shards_[s];
-    sh.router_begin =
-        static_cast<RouterId>(u64{num_routers} * s / shard_count);
-    sh.router_end =
-        static_cast<RouterId>(u64{num_routers} * (s + 1) / shard_count);
+    if (cfg_.shard_group_major) {
+      // Group-major: boundaries land on group multiples, so a shard's
+      // working set is a whole number of groups' cache footprint (a group's
+      // routers and their intra-group wiring never straddle shards). Shards
+      // with more shards than groups come out empty, which is harmless.
+      const u64 groups = topo_.groups();
+      sh.router_begin =
+          static_cast<RouterId>(groups * s / shard_count * topo_.a());
+      sh.router_end =
+          static_cast<RouterId>(groups * (s + 1) / shard_count * topo_.a());
+    } else {
+      sh.router_begin =
+          static_cast<RouterId>(u64{num_routers} * s / shard_count);
+      sh.router_end =
+          static_cast<RouterId>(u64{num_routers} * (s + 1) / shard_count);
+    }
     for (RouterId r = sh.router_begin; r < sh.router_end; ++r)
       shard_of_router_[r] = s;
     sh.active_routers.reserve(sh.router_end - sh.router_begin);
@@ -71,85 +104,21 @@ Network::Network(const SimConfig& cfg)
     }
   }
 
-  // ---- routers: input FIFOs, output units, arbiters ----
-  // Per-port shape (VC count, FIFO capacity). Called once per port in each
-  // of the two passes below; the embedded-ring VC bookkeeping it writes is
-  // idempotent.
-  auto port_shape = [this](RouterId r, PortId port) -> std::pair<u32, u32> {
-    u32 vcs = 0, cap = 0;
-    switch (topo_.port_class(port)) {
-      case PortClass::kNode:
-        vcs = cfg_.vcs_injection;
-        cap = cfg_.fifo_injection;
-        break;
-      case PortClass::kLocal:
-        vcs = cfg_.vcs_local;
-        cap = cfg_.fifo_local;
-        break;
-      case PortClass::kGlobal:
-        vcs = cfg_.vcs_global;
-        cap = cfg_.fifo_global;
-        break;
-      case PortClass::kRing: {
-        // Physical ring input receives from the ring predecessor; size the
-        // buffer for the wire class of that incoming hop.
-        vcs = cfg_.vcs_local;
-        const RouterId pred = ring_->predecessor(r);
-        cap = ring_->step_crosses_group(pred) ? cfg_.fifo_global
-                                              : cfg_.fifo_local;
-        break;
-      }
-    }
-    // Embedded escape ring: one extra VC on the port that receives the
-    // ring channel (paper §IV-C / §VII).
-    if (cfg_.ring == RingKind::kEmbedded && port == ring_in_port_[r]) {
-      ring_in_first_vc_[r] = vcs;
-      ring_in_num_vcs_[r] = 1;
-      vcs += 1;
-    }
-    OFAR_CHECK_MSG(vcs <= 8, "input VC bitmask is 8 bits wide");
-    return {vcs, cap};
-  };
-
+  // ---- routers ----
+  // Shells only: a router's FIFO/credit/arbiter state binds lazily on its
+  // first touch (build_router), so untouched routers cost nothing beyond
+  // the shell — the difference between ~2 GB of idle FIFO rings and a few
+  // hundred MB of actually-used state at h=16. cfg.wiring_table (the
+  // debug/reference mode) materializes the channel table and builds every
+  // router eagerly, replicating the historical constructor.
   routers_.resize(num_routers);
-  for (u32 s = 0; s < shard_count; ++s) {
-    ShardState& sh = shards_[s];
-    // Pass 1: exact arena totals over this shard's routers, so the arena
-    // can be reserved to its final size before any span is bound.
-    std::size_t total_vcs = 0, total_slots = 0;
-    for (RouterId r = sh.router_begin; r < sh.router_end; ++r) {
-      for (PortId port = 0; port < ports; ++port) {
-        const auto [vcs, cap] = port_shape(r, port);
-        total_vcs += vcs;
-        total_slots += std::size_t{vcs} * VcFifo::slots_for(cap);
-      }
-    }
-    sh.arena.reserve_input_state(total_vcs, total_slots);
-    // Pass 2: build the routers and bind their views into the arena.
-    for (RouterId r = sh.router_begin; r < sh.router_end; ++r) {
-      Router& router = routers_[r];
-      router.id = r;
-      router.inputs.resize(ports);
-      router.outputs.resize(ports);
-      router.input_mask.assign(ports, 0);
-      u32 max_vcs = 1;
-      for (PortId port = 0; port < ports; ++port) {
-        const auto [vcs, cap] = port_shape(r, port);
-        sh.arena.bind_inputs(router, port, vcs, cap);
-        router.buffer_capacity_phits += vcs * cap;
-        max_vcs = std::max(max_vcs, vcs);
-      }
-      router.input_arb.reserve(ports);
-      router.output_arb.reserve(ports);
-      for (PortId port = 0; port < ports; ++port) {
-        router.input_arb.emplace_back(max_vcs);
-        router.output_arb.emplace_back(ports);
-      }
-    }
+  for (RouterId r = 0; r < num_routers; ++r) routers_[r].id = r;
+  built_.assign(num_routers, 0);
+  channel_phits_.assign(std::size_t{num_routers} * ports, 0);
+  if (cfg_.wiring_table) {
+    build_channels();
+    for (RouterId r = 0; r < num_routers; ++r) build_router(r);
   }
-
-  build_channels();
-  size_output_credits();
 
   policy_ = make_policy(cfg_);
   pending_.resize(topo_.nodes());
@@ -223,20 +192,27 @@ void Network::build_ring() {
         ring_in_port_[r] =
             topo_.local_port(topo_.local_of(r), topo_.local_of(pred));
       }
-      // first_vc/num_vcs for the embedded case are filled in the router
-      // construction loop (they equal the port's base VC count / 1).
+      // The embedded ring VC rides on top of the receiving port's base VC
+      // range, whose size is that port's class count (global when the
+      // predecessor's step crosses groups, local otherwise).
+      ring_in_first_vc_[r] = ring_->step_crosses_group(pred)
+                                 ? cfg_.vcs_global
+                                 : cfg_.vcs_local;
+      ring_in_num_vcs_[r] = 1;
     }
   }
 }
 
 void Network::build_channels() {
-  const u32 ports = topo_.ports_per_router();
-  auto add_channel = [this](Channel ch) -> ChannelId {
-    const ChannelId id = static_cast<ChannelId>(channels_.size());
-    channels_.push_back(ch);
-    routers_[ch.src_router].outputs[ch.src_port].channel = id;
-    if (!ch.is_ejection()) routers_[ch.dst_router].inputs[ch.dst_port].in_channel = id;
-    return id;
+  // Debug/reference mode only (cfg.wiring_table): materialize the dense-
+  // indexed descriptor table with the historical per-class derivation. It
+  // is kept deliberately separate from resolve_channel so the two wiring
+  // derivations stay independent — the mode-equivalence test compares them
+  // descriptor by descriptor and digest by digest.
+  const u32 ports = ports_per_router_;
+  channels_.assign(num_channels(), Channel{});
+  auto add_channel = [this, ports](const Channel& ch) {
+    channels_[std::size_t{ch.src_router} * ports + ch.src_port] = ch;
   };
 
   for (RouterId r = 0; r < topo_.routers(); ++r) {
@@ -286,42 +262,177 @@ void Network::build_channels() {
   }
 }
 
-void Network::size_output_credits() {
-  for (ShardState& sh : shards_) {
-    // Pass 1: total downstream-VC count over this shard's routers, so the
-    // arena's credit arrays are reserved to their exact final size before
-    // any span is bound.
-    std::size_t total = 0;
-    for (RouterId rid = sh.router_begin; rid < sh.router_end; ++rid) {
-      for (const OutputPort& out : routers_[rid].outputs) {
-        if (!out.wired()) continue;
-        const Channel& ch = channels_[out.channel];
-        total += ch.is_ejection()
-                     ? 1u
-                     : routers_[ch.dst_router].inputs[ch.dst_port].vcs.size();
-      }
+bool Network::channel_wired(ChannelId c) const noexcept {
+  if (c >= num_channels()) return false;
+  const PortId port = static_cast<PortId>(c % ports_per_router_);
+  if (topo_.port_class(port) != PortClass::kGlobal) return true;
+  return topo_.global_port_wired(
+      static_cast<RouterId>(c / ports_per_router_), port);
+}
+
+Channel Network::resolve_channel(ChannelId c) const {
+  const u32 ports = ports_per_router_;
+  const RouterId r = static_cast<RouterId>(c / ports);
+  const PortId port = static_cast<PortId>(c % ports);
+  OFAR_DCHECK(r < routers_.size());
+  Channel ch;
+  ch.src_router = r;
+  ch.src_port = port;
+  switch (topo_.port_class(port)) {
+    case PortClass::kNode:
+      ch.cls = ChannelClass::kEjection;
+      ch.dst_node = topo_.node_at(r, port);
+      ch.latency = kEjectionLatency;
+      break;
+    case PortClass::kLocal: {
+      const u32 peer = topo_.local_peer(topo_.local_of(r), port);
+      ch.cls = ChannelClass::kLocal;
+      ch.dst_router = topo_.router_at(topo_.group_of(r), peer);
+      ch.dst_port = topo_.local_port(peer, topo_.local_of(r));
+      ch.latency = cfg_.local_latency;
+      break;
     }
-    sh.arena.reserve_credit_state(total);
-    // Pass 2: bind per-port views and fill in the downstream capacities.
-    for (RouterId rid = sh.router_begin; rid < sh.router_end; ++rid) {
-      Router& r = routers_[rid];
-      for (PortId port = 0; port < r.outputs.size(); ++port) {
-        OutputPort& out = r.outputs[port];
-        if (!out.wired()) continue;
-        const Channel& ch = channels_[out.channel];
-        if (ch.is_ejection()) {
-          sh.arena.bind_credits(r, port, 1, kEjectionCredits);
-          continue;
-        }
-        const InputPort& in = routers_[ch.dst_router].inputs[ch.dst_port];
-        sh.arena.bind_credits(r, port, in.vcs.size(), 0);
-        for (u32 v = 0; v < in.vcs.size(); ++v) {
-          out.credits[v] = in.vcs[v].capacity();
-          out.credit_cap[v] = in.vcs[v].capacity();
-        }
+    case PortClass::kGlobal: {
+      OFAR_DCHECK(topo_.global_port_wired(r, port));
+      const auto far = topo_.global_peer(r, port);
+      ch.cls = ChannelClass::kGlobal;
+      ch.dst_router = far.router;
+      ch.dst_port = far.port;
+      ch.latency = cfg_.global_latency;
+      break;
+    }
+    case PortClass::kRing: {
+      const RouterId succ = ring_->successor(r);
+      const bool crosses = ring_->step_crosses_group(r);
+      ch.cls =
+          crosses ? ChannelClass::kRingGlobal : ChannelClass::kRingLocal;
+      ch.dst_router = succ;
+      ch.dst_port = topo_.ring_port();
+      ch.latency = crosses ? cfg_.global_latency : cfg_.local_latency;
+      break;
+    }
+  }
+  return ch;
+}
+
+void Network::input_shape(RouterId r, PortId port, u32& vcs,
+                          u32& capacity) const {
+  vcs = 0;
+  capacity = 0;
+  switch (topo_.port_class(port)) {
+    case PortClass::kNode:
+      vcs = cfg_.vcs_injection;
+      capacity = cfg_.fifo_injection;
+      break;
+    case PortClass::kLocal:
+      vcs = cfg_.vcs_local;
+      capacity = cfg_.fifo_local;
+      break;
+    case PortClass::kGlobal:
+      vcs = cfg_.vcs_global;
+      capacity = cfg_.fifo_global;
+      break;
+    case PortClass::kRing: {
+      // Physical ring input receives from the ring predecessor; size the
+      // buffer for the wire class of that incoming hop.
+      vcs = cfg_.vcs_local;
+      const RouterId pred = ring_->predecessor(r);
+      capacity = ring_->step_crosses_group(pred) ? cfg_.fifo_global
+                                                 : cfg_.fifo_local;
+      break;
+    }
+  }
+  // Embedded escape ring: one extra VC on the port that receives the ring
+  // channel (paper §IV-C / §VII).
+  if (cfg_.ring == RingKind::kEmbedded && port == ring_in_port_[r]) vcs += 1;
+  OFAR_CHECK_MSG(vcs <= 8, "input VC bitmask is 8 bits wide");
+}
+
+u64 Network::built_router_count() const noexcept {
+  u64 n = 0;
+  for (const ShardState& sh : shards_) n += sh.built_count;
+  return n;
+}
+
+void Network::build_router(RouterId rid) {
+  OFAR_DCHECK(built_[rid] == 0);
+  ShardState& sh = shards_[shard_of_router_[rid]];
+  Router& router = routers_[rid];
+  const u32 ports = ports_per_router_;
+  router.inputs.resize(ports);
+  router.outputs.resize(ports);
+  router.input_mask.assign(ports, 0);
+
+  // Input side: FIFOs (packet-granularity ring sizing) and the incoming
+  // channel id + latency per port (the credit-return path).
+  u32 max_vcs = 1;
+  for (PortId port = 0; port < ports; ++port) {
+    u32 vcs = 0, cap = 0;
+    input_shape(rid, port, vcs, cap);
+    sh.arena.bind_inputs(router, port, vcs, cap,
+                         VcFifo::slots_for(cap, cfg_.packet_size));
+    router.buffer_capacity_phits += vcs * cap;
+    max_vcs = std::max(max_vcs, vcs);
+    InputPort& in = router.inputs[port];
+    switch (topo_.port_class(port)) {
+      case PortClass::kNode:
+        break;  // injection port: no upstream channel
+      case PortClass::kLocal: {
+        const u32 peer = topo_.local_peer(topo_.local_of(rid), port);
+        const RouterId src = topo_.router_at(topo_.group_of(rid), peer);
+        const PortId src_port = topo_.local_port(peer, topo_.local_of(rid));
+        in.in_channel = static_cast<ChannelId>(src * ports + src_port);
+        in.in_latency = cfg_.local_latency;
+        break;
+      }
+      case PortClass::kGlobal: {
+        if (!topo_.global_port_wired(rid, port)) break;
+        // Global links come in symmetric pairs: the channel feeding this
+        // port is the peer endpoint's output channel.
+        const auto far = topo_.global_peer(rid, port);
+        in.in_channel = static_cast<ChannelId>(far.router * ports + far.port);
+        in.in_latency = cfg_.global_latency;
+        break;
+      }
+      case PortClass::kRing: {
+        const RouterId pred = ring_->predecessor(rid);
+        in.in_channel =
+            static_cast<ChannelId>(pred * ports + topo_.ring_port());
+        in.in_latency = ring_->step_crosses_group(pred) ? cfg_.global_latency
+                                                        : cfg_.local_latency;
+        break;
       }
     }
   }
+
+  // Output side: channel id + cached latency, and credit counters sized
+  // from the *arithmetic* downstream shape — never from the neighbour's
+  // state, so building this router never forces its neighbours to build.
+  for (PortId port = 0; port < ports; ++port) {
+    const ChannelId id = static_cast<ChannelId>(rid * ports + port);
+    if (!channel_wired(id)) continue;  // unwired global slot (trimmed)
+    const Channel ch = resolve_channel(id);
+    OutputPort& out = router.outputs[port];
+    out.channel = id;
+    out.latency = ch.latency;
+    if (ch.is_ejection()) {
+      sh.arena.bind_credits(router, port, 1, kEjectionCredits);
+    } else {
+      u32 dvcs = 0, dcap = 0;
+      input_shape(ch.dst_router, ch.dst_port, dvcs, dcap);
+      sh.arena.bind_credits(router, port, dvcs, dcap);
+    }
+  }
+
+  router.input_arb.reserve(ports);
+  router.output_arb.reserve(ports);
+  for (PortId port = 0; port < ports; ++port) {
+    router.input_arb.emplace_back(max_vcs);
+    router.output_arb.emplace_back(ports);
+  }
+
+  built_[rid] = 1;
+  ++sh.built_count;
 }
 
 void Network::set_traffic(std::unique_ptr<TrafficSource> source) {
@@ -387,8 +498,14 @@ bool Network::best_base_vc(const Router& r, PortId port, VcId& vc) const {
 }
 
 u32 Network::injection_free_phits(NodeId node) const {
-  const Router& r = routers_[topo_.router_of_node(node)];
-  const InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(node))];
+  const RouterId rid = topo_.router_of_node(node);
+  const PortId port = topo_.node_port(topo_.node_slot(node));
+  if (built_[rid] == 0) {  // untouched router: every injection FIFO is empty
+    u32 vcs, cap;
+    input_shape(rid, port, vcs, cap);
+    return vcs * cap;
+  }
+  const InputPort& in = routers_[rid].inputs[port];
   u32 free = 0;
   for (const VcFifo& f : in.vcs) free += f.capacity() - f.stored_phits();
   return free;
@@ -407,7 +524,9 @@ void Network::offer(NodeId src, NodeId dst, u16 tag) {
 }
 
 bool Network::try_inject(NodeId src, NodeId dst, u16 tag) {
-  Router& r = routers_[topo_.router_of_node(src)];
+  const RouterId rid = topo_.router_of_node(src);
+  ensure_router_built(rid);  // serial phase
+  Router& r = routers_[rid];
   if (r.throttled) return false;
   InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(src))];
   u32 best_vc;
@@ -418,7 +537,9 @@ bool Network::try_inject(NodeId src, NodeId dst, u16 tag) {
 }
 
 void Network::place_packet(NodeId src, const Offer& offer) {
-  Router& r = routers_[topo_.router_of_node(src)];
+  const RouterId rid = topo_.router_of_node(src);
+  ensure_router_built(rid);  // serial phase
+  Router& r = routers_[rid];
   InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(src))];
   u32 best_vc;
   const bool fits = in.best_fit_vc(cfg_.packet_size, best_vc);
@@ -483,12 +604,13 @@ void Network::schedule_credit(ChannelId ch, VcId vc, u32 latency) {
 void Network::deliver_events() {
   const u32 slot = static_cast<u32>(now_ % wheel_size_);
   for (const PhitEvent& e : phit_wheel_[slot]) {
-    const Channel& ch = channels_[e.ch];
+    const Channel ch = channel(e.ch);
     if (ch.is_ejection()) {
       OFAR_DCHECK(ch.dst_node == pool_.get(e.pkt).dst);
       if (e.tail) deliver_packet(e.pkt);
       continue;
     }
+    ensure_router_built(ch.dst_router);  // first phit ever to reach it
     Router& dst = routers_[ch.dst_router];
     VcFifo& fifo = dst.inputs[ch.dst_port].vcs[e.vc];
     if (e.head) {
@@ -508,9 +630,12 @@ void Network::deliver_events() {
   }
   phit_wheel_[slot].clear();
   for (const CreditEvent& e : credit_wheel_[slot]) {
-    const Channel& ch = channels_[e.ch];
-    Router& src = routers_[ch.src_router];
-    OutputPort& out = src.outputs[ch.src_port];
+    // Only src_router/src_port are needed — a plain divmod on the dense id.
+    const RouterId src_r = static_cast<RouterId>(e.ch / ports_per_router_);
+    const PortId src_p = static_cast<PortId>(e.ch % ports_per_router_);
+    OFAR_DCHECK(built_[src_r] != 0);  // credits only return to senders
+    Router& src = routers_[src_r];
+    OutputPort& out = src.outputs[src_p];
     OFAR_DCHECK(e.vc < out.credits.size());
     ++out.credits[e.vc];
     OFAR_DCHECK(out.credits[e.vc] <= out.credit_cap[e.vc]);
@@ -603,7 +728,7 @@ void Network::advance_transfers(ShardState& sh) {
       const bool popped = fifo.pop_phit(size);
       OFAR_DCHECK(popped == tail);
       if (in.in_channel != kInvalidChannel) {
-        const u32 latency = channels_[in.in_channel].latency;
+        const u32 latency = in.in_latency;  // cached at wiring time
         if constexpr (kStaged) {
           OFAR_DCHECK(latency >= 1 && latency < wheel_size_);
           sh.credit_out.push_back(
@@ -613,17 +738,17 @@ void Network::advance_transfers(ShardState& sh) {
           schedule_credit(in.in_channel, out.src_vc, latency);
         }
       }
-      Channel& ch = channels_[out.channel];
-      ++ch.phits_carried;
+      ++channel_phits_[out.channel];  // flat counter; shard owns src router
+      const u32 out_latency = out.latency;  // cached at wiring time
       if constexpr (kStaged) {
-        OFAR_DCHECK(ch.latency >= 1 && ch.latency < wheel_size_);
+        OFAR_DCHECK(out_latency >= 1 && out_latency < wheel_size_);
         sh.phit_out.push_back(
-            {static_cast<u32>((now_ + ch.latency) % wheel_size_),
+            {static_cast<u32>((now_ + out_latency) % wheel_size_),
              {out.channel, out.active, out.active_vc, head ? u8{1} : u8{0},
               tail ? u8{1} : u8{0}}});
       } else {
         schedule_phit(out.channel, out.active, out.active_vc, head, tail,
-                      ch.latency);
+                      out_latency);
       }
       --out.phits_left;
       --r.buffered_phits;
@@ -892,7 +1017,9 @@ void Network::do_injection() {
       // place_packet requires space; probe with the same best-fit rule the
       // placement uses (InputPort::best_fit_vc), so probe and placement
       // cannot diverge.
-      const Router& r = routers_[topo_.router_of_node(n)];
+      const RouterId rid = topo_.router_of_node(n);
+      ensure_router_built(rid);  // serial phase
+      const Router& r = routers_[rid];
       if (r.throttled) break;
       const InputPort& in = r.inputs[topo_.node_port(topo_.node_slot(n))];
       u32 vc;
@@ -1000,7 +1127,7 @@ void Network::deliver_events_shard(ShardState& sh, u32 shard) {
   // shards share it safely.
   const u32 slot = static_cast<u32>(now_ % wheel_size_);
   for (const PhitEvent& e : phit_wheel_[slot]) {
-    const Channel& ch = channels_[e.ch];
+    const Channel ch = channel(e.ch);
     if (ch.is_ejection()) {
       if (shard_of_router_[ch.src_router] != shard) continue;
       OFAR_DCHECK(ch.dst_node == pool_.get(e.pkt).dst);
@@ -1008,6 +1135,10 @@ void Network::deliver_events_shard(ShardState& sh, u32 shard) {
       continue;
     }
     if (shard_of_router_[ch.dst_router] != shard) continue;
+    // Lazy build is parallel-legal here: the destination router belongs to
+    // this shard, and everything build_router writes (router shell, arena
+    // chunks, built_ flag, shard built counter) is shard-local.
+    ensure_router_built(ch.dst_router);
     Router& dst = routers_[ch.dst_router];
     VcFifo& fifo = dst.inputs[ch.dst_port].vcs[e.vc];
     if (e.head) {
@@ -1023,10 +1154,12 @@ void Network::deliver_events_shard(ShardState& sh, u32 shard) {
     OFAR_DCHECK(fifo.stored_phits() <= fifo.capacity());
   }
   for (const CreditEvent& e : credit_wheel_[slot]) {
-    const Channel& ch = channels_[e.ch];
-    if (shard_of_router_[ch.src_router] != shard) continue;
-    Router& src = routers_[ch.src_router];
-    OutputPort& out = src.outputs[ch.src_port];
+    const RouterId src_r = static_cast<RouterId>(e.ch / ports_per_router_);
+    if (shard_of_router_[src_r] != shard) continue;
+    OFAR_DCHECK(built_[src_r] != 0);  // credits only return to senders
+    Router& src = routers_[src_r];
+    OutputPort& out =
+        src.outputs[static_cast<PortId>(e.ch % ports_per_router_)];
     OFAR_DCHECK(e.vc < out.credits.size());
     ++out.credits[e.vc];
     OFAR_DCHECK(out.credits[e.vc] <= out.credit_cap[e.vc]);

@@ -24,15 +24,16 @@
 // leaving a FIFO at cycle t is usable upstream at t + latency.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/config.hpp"
 #include "common/parallel.hpp"
 #include "common/phase.hpp"
 #include "common/rng.hpp"
+#include "common/span.hpp"
 #include "common/types.hpp"
 #include "routing/routing.hpp"
 #include "sim/allocator.hpp"
@@ -146,16 +147,58 @@ class Network {
   const SimConfig& config() const noexcept { return cfg_; }
   const Dragonfly& topo() const noexcept { return topo_; }
   const HamiltonianRing* ring() const noexcept { return ring_.get(); }
-  Router& router(RouterId r) { return routers_[r]; }
+  /// Mutating access builds the router on first touch (serial contexts:
+  /// drivers and tests crafting router state). The const overload returns
+  /// the shell as-is — callers iterating structure must either check
+  /// router_built() or opt into cfg.wiring_table's eager construction.
+  Router& router(RouterId r) {
+    ensure_router_built(r);
+    return routers_[r];
+  }
   const Router& router(RouterId r) const { return routers_[r]; }
-  const Channel& channel(ChannelId c) const { return channels_[c]; }
-  std::size_t num_channels() const noexcept { return channels_.size(); }
+
+  // ---- channel id scheme (implicit wiring) ----
+  // Channel ids are dense: id = src_router * ports_per_router + src_port.
+  // In the default implicit mode a descriptor is resolved arithmetically on
+  // the fly; cfg.wiring_table materializes the table once (debug/reference
+  // mode) and serves lookups from it. Both modes use identical ids, and for
+  // untrimmed topologies they coincide with the historical sequential ids.
+  /// Resolved descriptor of a *wired* channel id (by value: there may be no
+  /// stored object behind it). Binding the result to a const reference at
+  /// call sites is fine (lifetime extension).
+  Channel channel(ChannelId c) const {
+    OFAR_DCHECK(channel_wired(c));
+    return channels_.empty() ? resolve_channel(c) : channels_[c];
+  }
+  /// True when the dense id maps to an existing link. The only holes are
+  /// unwired global slots of trimmed (groups < max) topologies.
+  bool channel_wired(ChannelId c) const noexcept;
+  /// One-past the largest dense channel id: routers * ports_per_router.
+  /// Iteration over [0, num_channels()) must skip !channel_wired(c).
+  std::size_t num_channels() const noexcept {
+    return std::size_t{routers_.size()} * ports_per_router_;
+  }
+  /// Lifetime phits carried by channel `c` (§III link-load analysis).
+  u64 channel_phits(ChannelId c) const noexcept { return channel_phits_[c]; }
   PacketPool& packets() noexcept { return pool_; }
   const PacketPool& packets() const noexcept { return pool_; }
   Rng& rng() noexcept { return rng_; }
   Stats& stats() noexcept { return stats_; }
   const Stats& stats() const noexcept { return stats_; }
   RoutingPolicy& policy() noexcept { return *policy_; }
+
+  // ---- lazy construction (implicit mode; see DESIGN.md §"Scale") ----
+  /// True when router r's FIFO/credit/arbiter state has been bound. Unbuilt
+  /// routers are empty shells (no packet ever touched them); read-only
+  /// consumers (telemetry, auditor, policy ticks) must treat them as
+  /// all-empty / all-credits-at-cap rather than indexing their ports.
+  bool router_built(RouterId r) const noexcept { return built_[r] != 0; }
+  /// Routers built so far (memory accounting, tests).
+  u64 built_router_count() const noexcept;
+  /// Input-port shape (VC count, per-VC capacity in phits) of (r, port),
+  /// computed arithmetically — valid whether or not r is built. This is
+  /// also how output credit counters are sized (the downstream shape).
+  void input_shape(RouterId r, PortId port, u32& vcs, u32& capacity) const;
 
   // ---- activity queries (telemetry) ----
   std::size_t active_router_count() const noexcept;
@@ -263,6 +306,7 @@ class Network {
 
  private:
   friend class verify::InvariantAuditor;
+  friend class CheckpointIO;  // core/checkpoint.cpp: full-state save/load
 
   struct PhitEvent {
     ChannelId ch;
@@ -279,6 +323,43 @@ class Network {
     NodeId dst;
     u16 tag;
     Cycle birth;
+  };
+
+  /// Order-preserving FIFO of a node's pending offers, backed by one plain
+  /// vector. An idle queue is 24 bytes with no heap block — at h=16 the
+  /// per-node source queues would otherwise dominate idle memory (libstdc++
+  /// deques eagerly allocate a ~512-byte chunk each, ~160 MB for 262K
+  /// nodes). Capacity tracks the node's own backlog high-water mark, which
+  /// is O(in-flight) under the injection throttle.
+  class OfferQueue {
+   public:
+    bool empty() const noexcept { return head_ == buf_.size(); }
+    std::size_t size() const noexcept { return buf_.size() - head_; }
+    const Offer& front() const {
+      OFAR_DCHECK(!empty());
+      return buf_[head_];
+    }
+    void push_back(const Offer& o) { buf_.push_back(o); }
+    void pop_front() {
+      OFAR_DCHECK(!empty());
+      ++head_;
+      if (head_ == buf_.size()) {
+        buf_.clear();
+        head_ = 0;
+      } else if (head_ >= 1024 && head_ * 2 >= buf_.size()) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+    /// Live entries in FIFO order (checkpointing).
+    Span<const Offer> items() const noexcept {
+      return Span<const Offer>(buf_.data() + head_, buf_.size() - head_);
+    }
+
+   private:
+    std::vector<Offer> buf_;
+    std::size_t head_ = 0;  // index of front(); entries before it are dead
   };
 
   /// An event staged in a shard outbox during a parallel phase, with its
@@ -345,11 +426,26 @@ class Network {
     u64 ring_exits = 0;
     u64 local_misroutes = 0;
     u64 global_misroutes = 0;
+    /// Routers of this shard built so far (shard-local so the lazy build
+    /// can run inside a parallel delivery phase without a shared counter).
+    u64 built_count = 0;
   };
 
   void build_channels();
   void build_ring();
-  void size_output_credits();
+
+  /// Arithmetic channel resolution (implicit mode); also the single source
+  /// of truth the wiring-table mode materializes from.
+  Channel resolve_channel(ChannelId c) const;
+
+  /// Binds router r's FIFO/credit/arbiter state onto its shard arena and
+  /// wires its ports (channel ids, cached latencies, credit caps sized from
+  /// the downstream input_shape). Parallel-legal from the owning shard's
+  /// delivery phase: all written state is shard-local.
+  OFAR_PARALLEL_PHASE void build_router(RouterId r);
+  OFAR_PARALLEL_PHASE void ensure_router_built(RouterId r) {
+    if (built_[r] == 0) build_router(r);
+  }
 
   OFAR_SERIAL_ONLY void deliver_events();
   OFAR_SERIAL_ONLY void update_throttle();
@@ -430,7 +526,18 @@ class Network {
   // parallel phase touches only the slice its shard owns (a packet is owned
   // by the router currently buffering it).
   OFAR_SHARD_LOCAL std::vector<Router> routers_;
-  OFAR_SHARD_LOCAL std::vector<Channel> channels_;
+  /// Materialized descriptor table, dense-indexed; EMPTY in the default
+  /// implicit mode (descriptors are resolved arithmetically on demand) and
+  /// populated only under cfg.wiring_table (debug/reference mode). Either
+  /// way it is written once at construction and read-only afterwards.
+  std::vector<Channel> channels_;
+  u32 ports_per_router_ = 0;  ///< cached topo_.ports_per_router()
+  /// Lifetime phits carried per dense channel id. Shard-local: a channel's
+  /// counter is only bumped by its source router's shard.
+  OFAR_SHARD_LOCAL std::vector<u64> channel_phits_;
+  /// Per-router lazy-build flags; a router is only ever built by its owning
+  /// shard (or serially), so the flags are shard-local state.
+  OFAR_SHARD_LOCAL std::vector<u8> built_;
   std::vector<RingOut> ring_out_;          // per router
   std::vector<PortId> ring_in_port_;       // per router (embedded/physical)
   std::vector<u32> ring_in_first_vc_;      // per router
@@ -448,7 +555,7 @@ class Network {
   OFAR_SERIAL_ONLY std::unique_ptr<TrafficSource> traffic_;
   OFAR_SERIAL_ONLY std::function<void(const TraceEvent&)> tracer_;
 
-  OFAR_SERIAL_ONLY std::vector<std::deque<Offer>> pending_;  // per node
+  OFAR_SERIAL_ONLY std::vector<OfferQueue> pending_;  // per node
   OFAR_SERIAL_ONLY u64 pending_total_ = 0;
   OFAR_SERIAL_ONLY u64 injected_total_ = 0;   // lifetime, never reset
   OFAR_SERIAL_ONLY u64 delivered_total_ = 0;  // lifetime, never reset

@@ -13,6 +13,8 @@
 
 namespace ofar {
 
+class CheckpointIO;
+
 class PacketPool {
  public:
   PacketPool() = default;
@@ -45,6 +47,12 @@ class PacketPool {
   }
 
  private:
+  // Serializes slots_/live_bits_/free_list_ verbatim: the LIFO free-list
+  // order decides which id the next create() hands out, so a restart must
+  // reproduce it exactly for packet ids (and everything keyed by them) to
+  // stay bit-identical.
+  friend class CheckpointIO;
+
   std::vector<Packet> slots_;
   std::vector<bool> live_bits_;
   std::vector<PacketId> free_list_;

@@ -10,9 +10,9 @@
 // contiguous per-SHARD arenas (sim/flat_state.hpp), laid out router/port/
 // VC-major; InputPort/OutputPort hold Span views into them. The allocation
 // and routing scans of a shard therefore stream through a few flat arrays
-// instead of chasing per-router heap vectors. Arenas are sized exactly once
-// at construction (reserve + bind, see ShardArena) and never reallocate,
-// which keeps the views valid for the network's lifetime.
+// instead of chasing per-router heap vectors. Arenas allocate in large
+// stable-address chunks (see ShardArena), so routers can be bound lazily on
+// first touch while every Span stays valid for the network's lifetime.
 #pragma once
 
 #include <vector>
@@ -28,6 +28,8 @@ namespace ofar {
 
 struct OutputPort {
   ChannelId channel = kInvalidChannel;  ///< invalid on unwired global ports
+  u32 latency = 1;  ///< wire latency of `channel`, cached at wiring time so
+                    ///< the transfer loop never resolves a descriptor
   Span<u32> credits;                    ///< per downstream VC, phits free
   Span<u32> credit_cap;                 ///< per downstream VC, buffer size
 
@@ -83,6 +85,7 @@ struct OutputPort {
 
 struct InputPort {
   ChannelId in_channel = kInvalidChannel;  ///< invalid for injection ports
+  u32 in_latency = 1;  ///< wire latency of `in_channel` (credit return path)
   Span<VcFifo> vcs;
   Span<u8> head_busy;  ///< per VC: head packet is mid-transfer
 

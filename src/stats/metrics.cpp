@@ -37,13 +37,17 @@ Telemetry::Telemetry(const Network& net, TelemetryConfig cfg)
 
   // Flat per-VC index space: vc_base_[r*ports_+p] is the base of the VCs of
   // input port p of router r; the final entry holds the total VC count.
+  // Computed from the arithmetic input shape, not router state: under lazy
+  // construction most routers have no bound FIFOs yet, and the flat index
+  // must not depend on construction order.
   vc_base_.assign(static_cast<std::size_t>(topo.routers()) * ports_ + 1, 0);
   u32 total_vcs = 0;
   for (RouterId r = 0; r < topo.routers(); ++r) {
-    const Router& router = net.router(r);
     for (PortId p = 0; p < ports_; ++p) {
       vc_base_[static_cast<std::size_t>(r) * ports_ + p] = total_vcs;
-      total_vcs += HeadView(router.inputs[p]).num_vcs();
+      u32 vcs = 0, cap = 0;
+      net.input_shape(r, p, vcs, cap);
+      total_vcs += vcs;
     }
   }
   vc_base_.back() = total_vcs;
@@ -52,7 +56,7 @@ Telemetry::Telemetry(const Network& net, TelemetryConfig cfg)
 
   prev_phits_.assign(net.num_channels(), 0);
   for (ChannelId c = 0; c < net.num_channels(); ++c)
-    prev_phits_[c] = net.channel(c).phits_carried;
+    prev_phits_[c] = net.channel_phits(c);
 
   last_sample_cycle_ = net.now();
   next_sample_ = net.now() + cfg_.interval;
@@ -160,9 +164,11 @@ void Telemetry::sample(const Network& net, Cycle now) {
   hot_.channel = kInvalidChannel;
   hot_.link_util = 0.0;
   for (ChannelId c = 0; c < net.num_channels(); ++c) {
-    const Channel& ch = net.channel(c);
-    const u64 d = ch.phits_carried - prev_phits_[c];
-    prev_phits_[c] = ch.phits_carried;
+    if (!net.channel_wired(c)) continue;  // trimmed global slots
+    const Channel ch = net.channel(c);
+    const u64 phits = net.channel_phits(c);
+    const u64 d = phits - prev_phits_[c];
+    prev_phits_[c] = phits;
     delta_scratch_[c] = d;
     const u32 k = static_cast<u32>(ch.cls);
     class_phits[k] += d;
@@ -199,6 +205,7 @@ void Telemetry::sample(const Network& net, Cycle now) {
   hot_.vc_port = 0;
   hot_.vc_vc = 0;
   for (RouterId r = 0; r < net.topo().routers(); ++r) {
+    if (!net.router_built(r)) continue;  // untouched: every buffer empty
     const Router& router = net.router(r);
     if (router.throttled) ++throttled;
     for (PortId p = 0; p < ports_; ++p) {
@@ -297,7 +304,7 @@ void Telemetry::emit_interval(const Network& net, Cycle now, Cycle width) {
     w.key(reg_.def(i).name.c_str()).value(reg_.value(i));
   w.end_object();
   if (hot_.channel != kInvalidChannel) {
-    const Channel& ch = net.channel(hot_.channel);
+    const Channel ch = net.channel(hot_.channel);
     w.key("hot_link").begin_object();
     w.key("channel").value(hot_.channel);
     w.key("src_router").value(ch.src_router);
@@ -331,8 +338,8 @@ void Telemetry::emit_full_dump(const Network& net, Cycle now, Cycle width) {
   }
   for (ChannelId c = 0; c < net.num_channels(); ++c) {
     const u64 d = delta_scratch_[c];
-    if (d == 0) continue;
-    const Channel& ch = net.channel(c);
+    if (d == 0) continue;  // unwired slots never accumulate a delta
+    const Channel ch = net.channel(c);
     const double util =
         width == 0 ? 0.0 : static_cast<double>(d) / static_cast<double>(width);
     if (csv) {
@@ -366,6 +373,7 @@ void Telemetry::emit_full_dump(const Network& net, Cycle now, Cycle width) {
     vw.key("vcs").begin_array();
   }
   for (RouterId r = 0; r < net.topo().routers(); ++r) {
+    if (!net.router_built(r)) continue;  // untouched: nothing stored, no stalls
     const Router& router = net.router(r);
     for (PortId p = 0; p < ports_; ++p) {
       const HeadView in(router.inputs[p]);
@@ -412,6 +420,7 @@ void Telemetry::collect_edges(const Network& net, Cycle now,
   const u32 timeout = net.config().deadlock_timeout;
   total = 0;
   for (RouterId r = 0; r < topo.routers(); ++r) {
+    if (!net.router_built(r)) continue;  // untouched: no resident heads
     const Router& router = net.router(r);
     for (PortId p = 0; p < ports_; ++p) {
       const HeadView in(router.inputs[p]);

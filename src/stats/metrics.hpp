@@ -358,7 +358,7 @@ class Telemetry {
   // the calling shard owns.
   OFAR_SHARD_LOCAL std::vector<u64> vc_credit_stall_;  ///< head-cycles blocked
   OFAR_SHARD_LOCAL std::vector<u64> vc_alloc_stall_;   ///< grants lost
-  std::vector<u64> prev_phits_;   ///< per channel, phits_carried at last sample
+  std::vector<u64> prev_phits_;   ///< per channel, channel_phits at last sample
   std::vector<u64> delta_scratch_;  ///< per channel, phits this interval
 
   Cycle next_sample_ = 0;

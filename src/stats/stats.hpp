@@ -18,6 +18,8 @@
 
 namespace ofar {
 
+class CheckpointIO;
+
 struct LatencyAccum {
   u64 count = 0;
   double sum = 0.0;
@@ -89,6 +91,8 @@ class LatencyHistogram {
   }
 
  private:
+  friend class CheckpointIO;
+
   /// Unclamped bucket index; add() clamps and counts the overflow.
   static u32 bucket_of(u64 v) noexcept {
     if (v == 0) return 0;
@@ -203,6 +207,8 @@ class OFAR_SERIAL_ONLY Stats {
   }
 
  private:
+  friend class CheckpointIO;  // serializes the whole window state
+
   Cycle window_start_ = 0;
   u64 generated_packets_ = 0;
   u64 generated_phits_ = 0;

@@ -4,6 +4,19 @@
 
 namespace ofar {
 
+void TimeSeries::flush_front(u64 new_base) {
+  const u64 resident_end = base_ + buckets_.size();
+  const u64 stop = new_base < resident_end ? new_base : resident_end;
+  for (u64 i = base_; i < stop; ++i) {
+    const Bucket& b = buckets_[i - base_];
+    if (b.count != 0 && flush_)
+      flush_(start_ + i * bucket_width_ + bucket_width_ / 2, b);
+  }
+  buckets_.erase(buckets_.begin(),
+                 buckets_.begin() + static_cast<std::ptrdiff_t>(stop - base_));
+  base_ = new_base;
+}
+
 void TimeSeries::dump_csv(std::FILE* f, const std::string& label) const {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     const Bucket& b = buckets_[i];

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "common/types.hpp"
 
 namespace ofar {
+
+class CheckpointIO;
 
 class TimeSeries {
  public:
@@ -24,6 +27,30 @@ class TimeSeries {
     OFAR_CHECK(bucket_width > 0);
   }
 
+  struct Bucket {
+    double sum = 0.0;
+    u64 count = 0;
+    double mean() const { return count == 0 ? 0.0 : sum / count; }
+  };
+
+  /// Flush sink for windowed series: receives the retired bucket's centre
+  /// cycle and its aggregate, oldest-first, exactly once per non-empty
+  /// retired bucket.
+  using FlushFn = std::function<void(Cycle mid, const Bucket& b)>;
+
+  /// Bounds the series at `max_buckets` resident buckets (>= 1). When
+  /// record_extending would grow past the bound, the oldest buckets are
+  /// flushed through `flush` (empty buckets silently) and dropped, turning
+  /// the unbounded history vector into a sliding window + stream. Series
+  /// that never overflow never flush, so their dumps stay bit-identical to
+  /// the unwindowed form. `flush` may be nullptr to drop retired buckets
+  /// (they are still counted by flushed_buckets()).
+  void set_window(u32 max_buckets, FlushFn flush) {
+    OFAR_CHECK(max_buckets >= 1);
+    max_buckets_ = max_buckets;
+    flush_ = std::move(flush);
+  }
+
   void record(Cycle at, double value) {
     Bucket* b = bucket_for(at);
     if (b == nullptr) return;
@@ -34,29 +61,33 @@ class TimeSeries {
   /// record() variant that grows the window to cover `at` instead of
   /// dropping it. Used by sinks whose horizon is unknown up front (the
   /// per-link trace series); the fixed-window record() stays the transient
-  /// experiments' contract.
+  /// experiments' contract. Under set_window, growth past the bound
+  /// retires the oldest buckets through the flush sink; events older than
+  /// the already-flushed prefix are dropped (the stream cannot rewind).
   void record_extending(Cycle at, double value) {
     if (at < start_) return;
     const u64 idx = (at - start_) / bucket_width_;
-    if (idx >= buckets_.size()) buckets_.resize(idx + 1);
-    Bucket* b = buckets_.data() + idx;
+    if (idx < base_) return;  // behind the flushed prefix
+    if (max_buckets_ != 0 && idx - base_ >= max_buckets_)
+      flush_front(idx - max_buckets_ + 1);
+    const u64 rel = idx - base_;
+    if (rel >= buckets_.size()) buckets_.resize(rel + 1);
+    Bucket* b = buckets_.data() + rel;
     b->sum += value;
     ++b->count;
   }
 
-  struct Bucket {
-    double sum = 0.0;
-    u64 count = 0;
-    double mean() const { return count == 0 ? 0.0 : sum / count; }
-  };
-
+  /// Resident (unflushed) buckets. Under a window this is the tail of the
+  /// series; the flushed prefix has already left through the sink.
   std::size_t num_buckets() const noexcept { return buckets_.size(); }
   const Bucket& bucket(std::size_t i) const { return buckets_[i]; }
-  /// Cycle at the centre of bucket i.
+  /// Cycle at the centre of resident bucket i.
   Cycle bucket_mid(std::size_t i) const {
-    return start_ + i * bucket_width_ + bucket_width_ / 2;
+    return start_ + (base_ + i) * bucket_width_ + bucket_width_ / 2;
   }
   u32 bucket_width() const noexcept { return bucket_width_; }
+  /// Buckets retired through the flush sink so far (empty ones included).
+  u64 flushed_buckets() const noexcept { return base_; }
 
   /// Appends one CSV row per non-empty bucket: label,cycle,mean,count
   /// (cycle is the bucket centre). The caller owns the stream and any
@@ -67,6 +98,8 @@ class TimeSeries {
   void dump_jsonl(std::FILE* f, const std::string& label) const;
 
  private:
+  friend class CheckpointIO;  // serializes buckets_/base_ (not the sink)
+
   /// Bucket covering cycle `at`, or nullptr when `at` falls outside the
   /// window. The single guarded pointer computation replaces an operator[]
   /// that GCC 12 flagged with a spurious -Warray-bounds on constant-folded
@@ -74,12 +107,21 @@ class TimeSeries {
   Bucket* bucket_for(Cycle at) noexcept {
     if (at < start_) return nullptr;
     const u64 idx = (at - start_) / bucket_width_;
-    return idx < buckets_.size() ? buckets_.data() + idx : nullptr;
+    if (idx < base_) return nullptr;
+    const u64 rel = idx - base_;
+    return rel < buckets_.size() ? buckets_.data() + rel : nullptr;
   }
+
+  /// Retires buckets [base_, new_base) through the flush sink and drops
+  /// them; defined in timeseries.cpp.
+  void flush_front(u64 new_base);
 
   Cycle start_ = 0;
   u32 bucket_width_ = 1;
+  u64 base_ = 0;        ///< global index of buckets_[0] (flushed prefix size)
+  u32 max_buckets_ = 0; ///< 0 = unbounded (no window installed)
   std::vector<Bucket> buckets_;
+  FlushFn flush_;
 };
 
 }  // namespace ofar

@@ -50,6 +50,31 @@ class Dragonfly {
   u32 max_groups() const noexcept { return a() * h_ + 1; }
   bool has_ring_port() const noexcept { return physical_ring_; }
 
+  /// Entity-count trait for id sizing. Everything is computed in u64 so
+  /// callers can validate a requested topology against the compact 32-bit
+  /// id types (RouterId/NodeId/ChannelId/PortId widths) *before* any
+  /// truncating arithmetic runs — the basis of the scale checks in the
+  /// Network constructor. h=16 (513 groups, 262,656 endpoints, 64 ports
+  /// with the physical ring) is the largest balanced dragonfly whose port
+  /// count fits the 64-bit output-activity masks; h=22 would need 88 ports
+  /// per router and is out of scope for the current kernel.
+  struct Limits {
+    u64 routers = 0;
+    u64 nodes = 0;
+    u64 ports = 0;     ///< ports per router
+    u64 channels = 0;  ///< dense channel-id bound: routers * ports
+    u64 max_vcs = 0;   ///< most VCs any single input port may carry
+  };
+  Limits limits(u32 max_vcs_per_port) const noexcept {
+    Limits l;
+    l.routers = u64{groups_} * a();
+    l.nodes = l.routers * p();
+    l.ports = ports_per_router();
+    l.channels = l.routers * l.ports;
+    l.max_vcs = max_vcs_per_port;
+    return l;
+  }
+
   /// Ports per router: p node + (a-1) local + h global (+1 physical ring).
   u32 ports_per_router() const noexcept {
     return p() + (a() - 1) + h_ + (physical_ring_ ? 1u : 0u);

@@ -37,6 +37,12 @@ struct TracerConfig {
   std::string links_path;
   /// Cycles per link-series bucket.
   Cycle link_bucket = 256;
+  /// Resident-bucket cap per link series (TimeSeries::set_window). Buckets
+  /// retired past the cap stream straight into the links file, so a
+  /// week-long run holds O(link_window) memory per traced link instead of
+  /// O(run length). Paper-scale runs never overflow the default, keeping
+  /// their exports bit-identical to the unwindowed form. 0 = unbounded.
+  u32 link_window = 1u << 14;
   /// Flight recorder depth: last N events retained per router (0 disables
   /// the recorder). Dumped on InvariantAuditor failure or deadlock
   /// forensics alongside <out_path>.flight.json (or ofar_flight.json when

@@ -53,6 +53,7 @@ void PacketTracer::on_event(const TraceEvent& ev) {
                               LinkSeries{TimeSeries(0, 0, cfg_.link_bucket),
                                          TimeSeries(0, 0, cfg_.link_bucket)})
                      .first;
+            init_link_series(ch, it->second);
           }
           it->second.util.record_extending(ev.cycle,
                                            net_.config().packet_size);
@@ -165,18 +166,65 @@ void PacketTracer::export_journeys() const {
   writer.write_file(cfg_.out_path);
 }
 
-void PacketTracer::export_links() const {
-  std::FILE* f = std::fopen(cfg_.links_path.c_str(), "wb");
+std::string PacketTracer::link_label(ChannelId ch) const {
+  const Channel c = net_.channel(ch);
+  return "r" + std::to_string(c.src_router) + ".p" +
+         std::to_string(c.src_port) + "." + to_string(c.cls);
+}
+
+std::FILE* PacketTracer::links_file() {
+  if (links_file_ != nullptr) return links_file_;
+  links_file_ = std::fopen(cfg_.links_path.c_str(), "wb");
+  if (links_file_ == nullptr) return nullptr;
+  const bool csv = cfg_.links_path.size() >= 4 &&
+                   cfg_.links_path.compare(cfg_.links_path.size() - 4, 4,
+                                           ".csv") == 0;
+  if (csv) std::fputs("label,cycle,mean,count\n", links_file_);
+  return links_file_;
+}
+
+void PacketTracer::init_link_series(ChannelId ch, LinkSeries& series) {
+  if (cfg_.link_window == 0) return;  // unbounded (legacy behaviour)
+  const bool csv = cfg_.links_path.size() >= 4 &&
+                   cfg_.links_path.compare(cfg_.links_path.size() - 4, 4,
+                                           ".csv") == 0;
+  // Retired buckets stream straight into the links file in the exact row
+  // format dump_csv/dump_jsonl would emit at export; series that never
+  // overflow the window never open the file early, so short runs stay
+  // byte-identical to the unwindowed export.
+  const auto sink = [this, csv](const std::string& label) {
+    return [this, csv, label](Cycle mid, const TimeSeries::Bucket& b) {
+      std::FILE* f = links_file();
+      if (f == nullptr) return;
+      if (csv) {
+        std::fprintf(f, "%s,%llu,%.17g,%llu\n", label.c_str(),
+                     static_cast<unsigned long long>(mid), b.mean(),
+                     static_cast<unsigned long long>(b.count));
+      } else {
+        JsonWriter w;
+        w.begin_object();
+        w.key("label").value(label);
+        w.key("cycle").value(static_cast<u64>(mid));
+        w.key("mean").value(b.mean());
+        w.key("count").value(b.count);
+        w.end_object();
+        std::fprintf(f, "%s\n", w.str().c_str());
+      }
+    };
+  };
+  const std::string base = link_label(ch);
+  series.util.set_window(cfg_.link_window, sink(base + ".util"));
+  series.stall.set_window(cfg_.link_window, sink(base + ".stall"));
+}
+
+void PacketTracer::export_links() {
+  std::FILE* f = links_file();
   if (f == nullptr) return;
   const bool csv = cfg_.links_path.size() >= 4 &&
                    cfg_.links_path.compare(cfg_.links_path.size() - 4, 4,
                                            ".csv") == 0;
-  if (csv) std::fputs("label,cycle,mean,count\n", f);
   for (const auto& [ch, series] : links_) {
-    const Channel& c = net_.channel(ch);
-    const std::string base = "r" + std::to_string(c.src_router) + ".p" +
-                             std::to_string(c.src_port) + "." +
-                             to_string(c.cls);
+    const std::string base = link_label(ch);
     // util: mean phits per sampled grant (count = sampled grants per
     // bucket; multiply mean*count*sample for an absolute-phit estimate).
     // stall: mean queue-wait of the grants that entered the link.
@@ -189,6 +237,7 @@ void PacketTracer::export_links() const {
     }
   }
   std::fclose(f);
+  links_file_ = nullptr;
 }
 
 void PacketTracer::finish() {

@@ -79,7 +79,15 @@ class OFAR_SERIAL_ONLY PacketTracer {
   };
 
   void export_journeys() const;
-  void export_links() const;
+  void export_links();
+  /// Lazily opens cfg.links_path (header included for CSV). Shared by the
+  /// windowed series' flush sinks — which stream retired buckets during
+  /// the run — and the final export. Returns nullptr on open failure.
+  std::FILE* links_file();
+  /// Label prefix for channel `ch`'s series rows ("r<N>.p<M>.<class>").
+  std::string link_label(ChannelId ch) const;
+  /// Installs the windowed flush sinks for a fresh LinkSeries.
+  void init_link_series(ChannelId ch, LinkSeries& series);
   std::string flight_dump_path(const char* suffix) const;
 
   const Network& net_;
@@ -89,6 +97,7 @@ class OFAR_SERIAL_ONLY PacketTracer {
   std::map<u64, Journey> open_;   ///< seq -> in-flight journey (ordered)
   std::vector<Journey> done_;     ///< completed journeys, delivery order
   std::map<ChannelId, LinkSeries> links_;  ///< ordered by channel id
+  std::FILE* links_file_ = nullptr;  ///< open once a windowed series spills
   std::unique_ptr<FlightRecorder> recorder_;
   u32 forensic_dumps_ = 0;
   bool finished_ = false;

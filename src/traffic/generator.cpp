@@ -1,6 +1,7 @@
 #include "traffic/generator.hpp"
 
 #include "common/check.hpp"
+#include "common/ckpt_stream.hpp"
 #include "sim/network.hpp"
 
 namespace ofar {
@@ -125,6 +126,34 @@ void BurstSource::tick(Network& net) {
       --remaining_total_;
     }
   }
+}
+
+void TrafficSource::save_state(CkptWriter&) const {}
+void TrafficSource::load_state(CkptReader&) {}
+
+void BernoulliSource::save_state(CkptWriter& w) const { w.put_rng(rng_); }
+void BernoulliSource::load_state(CkptReader& r) { r.get_rng(rng_); }
+
+void PhasedSource::save_state(CkptWriter& w) const { w.put_rng(rng_); }
+void PhasedSource::load_state(CkptReader& r) { r.get_rng(rng_); }
+
+void BurstSource::save_state(CkptWriter& w) const {
+  w.put_rng(rng_);
+  w.put_u64(remaining_total_);
+  w.put_u64(remaining_.size());
+  w.put_pod_span(remaining_.data(), remaining_.size());
+}
+
+void BurstSource::load_state(CkptReader& r) {
+  r.get_rng(rng_);
+  remaining_total_ = r.get_u64();
+  const u64 n = r.get_u64();
+  if (!r.ok() || n > (u64{1} << 32)) {
+    r.fail();
+    return;
+  }
+  remaining_.assign(n, 0);
+  r.get_pod_span(remaining_.data(), remaining_.size());
 }
 
 }  // namespace ofar

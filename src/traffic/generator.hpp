@@ -18,6 +18,8 @@
 namespace ofar {
 
 class Network;
+class CkptWriter;
+class CkptReader;
 
 class TrafficSource {
  public:
@@ -26,6 +28,13 @@ class TrafficSource {
   virtual void tick(Network& net) = 0;
   /// True when the source will never generate again (burst exhausted).
   virtual bool finished() const { return false; }
+
+  /// Checkpoint hooks (core/checkpoint.hpp): serialize the source's mutable
+  /// state (RNG stream, burst budgets) so a restored run generates the
+  /// exact same offer sequence. load_state must consume exactly what
+  /// save_state produced; the defaults write/read nothing.
+  virtual void save_state(CkptWriter& w) const;
+  virtual void load_state(CkptReader& r);
 };
 
 class BernoulliSource : public TrafficSource {
@@ -36,6 +45,9 @@ class BernoulliSource : public TrafficSource {
   /// In-place pattern/load change (simple transient experiments).
   void set_pattern(TrafficPattern pattern) { pattern_ = std::move(pattern); }
   void set_load(double load_phits) { load_ = load_phits; }
+
+  void save_state(CkptWriter& w) const override;
+  void load_state(CkptReader& r) override;
 
  private:
   TrafficPattern pattern_;
@@ -55,6 +67,8 @@ class PhasedSource : public TrafficSource {
 
   PhasedSource(std::vector<Phase> phases, u64 seed);
   void tick(Network& net) override;
+  void save_state(CkptWriter& w) const override;
+  void load_state(CkptReader& r) override;
 
  private:
   std::vector<Phase> phases_;
@@ -68,6 +82,9 @@ class BurstSource : public TrafficSource {
   bool finished() const override { return remaining_total_ == 0; }
 
   u64 remaining_total() const { return remaining_total_; }
+
+  void save_state(CkptWriter& w) const override;
+  void load_state(CkptReader& r) override;
 
  private:
   TrafficPattern pattern_;

@@ -119,12 +119,18 @@ AuditReport InvariantAuditor::run_all() const {
 // remainder of an active transfer (reserved whole-packet at grant).
 void InvariantAuditor::check_credit_conservation(AuditReport& rep) const {
   ++rep.checks_run;
-  std::vector<std::vector<u32>> wire_phits(net_.channels_.size());
-  std::vector<std::vector<u32>> wire_credits(net_.channels_.size());
-  for (ChannelId c = 0; c < net_.channels_.size(); ++c) {
-    const Channel& ch = net_.channels_[c];
+  const std::size_t num_ch = net_.num_channels();
+  std::vector<std::vector<u32>> wire_phits(num_ch);
+  std::vector<std::vector<u32>> wire_credits(num_ch);
+  for (ChannelId c = 0; c < num_ch; ++c) {
+    if (!net_.channel_wired(c)) continue;  // trimmed global slots
+    const Channel ch = net_.channel(c);
+    // Unbuilt source router: no credits bound, so nothing can be in flight
+    // on this channel and the per-VC tallies stay empty.
     const std::size_t vcs =
-        net_.routers_[ch.src_router].outputs[ch.src_port].credits.size();
+        net_.router_built(ch.src_router)
+            ? net_.routers_[ch.src_router].outputs[ch.src_port].credits.size()
+            : 0;
     wire_phits[c].assign(vcs, 0);
     wire_credits[c].assign(vcs, 0);
   }
@@ -133,13 +139,20 @@ void InvariantAuditor::check_credit_conservation(AuditReport& rep) const {
   for (const auto& slot : net_.credit_wheel_)
     for (const Network::CreditEvent& e : slot) ++wire_credits[e.ch][e.vc];
 
-  for (ChannelId c = 0; c < net_.channels_.size(); ++c) {
-    const Channel& ch = net_.channels_[c];
+  for (ChannelId c = 0; c < num_ch; ++c) {
+    if (!net_.channel_wired(c)) continue;
+    const Channel ch = net_.channel(c);
     if (ch.is_ejection()) continue;  // sink credits are modelled as infinite
+    if (!net_.router_built(ch.src_router)) continue;  // no credit state yet
     const OutputPort& out = net_.routers_[ch.src_router].outputs[ch.src_port];
-    const HeadView in(net_.routers_[ch.dst_router].inputs[ch.dst_port]);
+    // Built source, unbuilt destination: phits may be on the wire but none
+    // can be stored downstream yet (delivery builds the destination).
+    const bool dst_built = net_.router_built(ch.dst_router);
     for (std::size_t v = 0; v < out.credits.size(); ++v) {
-      const u32 stored = in.stored_phits(static_cast<VcId>(v));
+      const u32 stored =
+          dst_built ? HeadView(net_.routers_[ch.dst_router].inputs[ch.dst_port])
+                          .stored_phits(static_cast<VcId>(v))
+                    : 0;
       const u32 unsent =
           out.busy() && out.active_vc == v ? out.phits_left : 0;
       const u64 total = u64{out.credits[v]} + wire_phits[c][v] +
@@ -380,8 +393,16 @@ void InvariantAuditor::check_ring_bubble(AuditReport& rep) const {
   for (RouterId r = 0; r < net_.routers_.size(); ++r) {
     const PortId port = net_.ring_in_port_[r];
     if (port == kInvalidPort) continue;
-    const HeadView in(net_.routers_[r].inputs[port]);
     const u32 first = net_.ring_in_first_vc_[r];
+    if (!net_.router_built(r)) {
+      // Untouched router: its ring VCs are empty but their capacity still
+      // backs the bubble invariant, so count it from the arithmetic shape.
+      u32 vcs = 0, cap = 0;
+      net_.input_shape(r, port, vcs, cap);
+      capacity += u64{net_.ring_in_num_vcs_[r]} * cap;
+      continue;
+    }
+    const HeadView in(net_.routers_[r].inputs[port]);
     for (u32 v = first; v < first + net_.ring_in_num_vcs_[r]; ++v) {
       occupied += in.stored_phits(static_cast<VcId>(v));
       capacity += in.capacity(static_cast<VcId>(v));
@@ -389,7 +410,7 @@ void InvariantAuditor::check_ring_bubble(AuditReport& rep) const {
   }
   for (const auto& slot : net_.phit_wheel_) {
     for (const Network::PhitEvent& e : slot) {
-      const Channel& ch = net_.channels_[e.ch];
+      const Channel ch = net_.channel(e.ch);
       if (!ch.is_ejection() &&
           net_.is_ring_input(ch.dst_router, ch.dst_port, e.vc))
         ++occupied;
@@ -398,7 +419,7 @@ void InvariantAuditor::check_ring_bubble(AuditReport& rep) const {
   for (const Router& r : net_.routers_) {
     for (const OutputPort& out : r.outputs) {
       if (!out.busy()) continue;
-      const Channel& ch = net_.channels_[out.channel];
+      const Channel ch = net_.channel(out.channel);
       if (ch.is_ejection()) continue;
       if (net_.is_ring_input(ch.dst_router, ch.dst_port, out.active_vc) &&
           !net_.is_ring_input(r.id, out.src_port, out.src_vc))

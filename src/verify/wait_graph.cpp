@@ -25,11 +25,13 @@ WaitGraph::Node WaitGraph::node_at(u32 index) const noexcept {
 void WaitGraph::build() {
   const Dragonfly& topo = net_.topo();
   ports_ = topo.ports_per_router();
-  max_vcs_ = 1;
-  for (RouterId r = 0; r < topo.routers(); ++r)
-    for (PortId p = 0; p < ports_; ++p)
-      max_vcs_ =
-          std::max(max_vcs_, HeadView(net_.router(r).inputs[p]).num_vcs());
+  // Config-derived bound, not router state: lazy construction leaves
+  // untouched routers without bound FIFOs, and the index space must not
+  // depend on which routers happen to be built. An embedded escape ring
+  // adds one VC to one input port per router.
+  const SimConfig& cfg = net_.config();
+  max_vcs_ = std::max({1u, cfg.vcs_local, cfg.vcs_global, cfg.vcs_injection});
+  if (cfg.ring == RingKind::kEmbedded) ++max_vcs_;
   const std::size_t total =
       static_cast<std::size_t>(topo.routers()) * ports_ * max_vcs_;
   adj_.assign(total, {});
@@ -41,6 +43,7 @@ void WaitGraph::build() {
   const u32 need = net_.config().packet_size;
 
   for (RouterId r = 0; r < topo.routers(); ++r) {
+    if (!net_.router_built(r)) continue;  // no heads, so no wait edges
     const Router& router = net_.router(r);
     for (PortId p = 0; p < ports_; ++p) {
       const HeadView in(router.inputs[p]);
@@ -81,7 +84,7 @@ void WaitGraph::build() {
             break;
           }
         if (any_free) continue;
-        const Channel& ch = net_.channel(out.channel);
+        const Channel ch = net_.channel(out.channel);
         if (ch.is_ejection()) continue;  // sink credits never run out
         for (u32 w = first; w < first + count && w < out.credits.size();
              ++w) {

@@ -154,8 +154,8 @@ TEST(LrsArbiter, IsStarvationFreeUnderPersistentLoad) {
 // Router fixture owning its backing store. In the simulator the SoA arena
 // lives in the shard (ShardState::arena) and is shared by every router of
 // that shard; unit tests give each router a private arena instead. The
-// arena's vectors are heap-backed, so the Router's Span views stay valid
-// across moves of the fixture.
+// arena's chunk pools hand out stable addresses, so the Router's Span
+// views stay valid across moves of the fixture.
 struct TestRouter : Router {
   ShardArena arena;
 };
@@ -165,11 +165,9 @@ TestRouter make_router(u32 ports, u32 vcs) {
   r.inputs.resize(ports);
   r.outputs.resize(ports);
   r.input_mask.assign(ports, 0);
-  r.arena.reserve_input_state(
-      static_cast<std::size_t>(ports) * vcs,
-      static_cast<std::size_t>(ports) * vcs * VcFifo::slots_for(32));
   for (u32 p = 0; p < ports; ++p) {
-    r.arena.bind_inputs(r, static_cast<PortId>(p), vcs, 32);
+    r.arena.bind_inputs(r, static_cast<PortId>(p), vcs, 32,
+                        VcFifo::slots_for(32));
     r.input_arb.emplace_back(vcs);
     r.output_arb.emplace_back(ports);
   }
@@ -344,36 +342,41 @@ TEST(ShardArena, InputBindingIsContiguousAndPortMajor) {
   TestRouter r = make_router(3, 2);
   ASSERT_EQ(r.arena.fifos.size(), 6u);
   ASSERT_EQ(r.arena.head_busy.size(), 6u);
+  // Sequential binds that fit one chunk stay contiguous and port-major, so
+  // a shard's allocation scan still walks flat arrays.
   for (u32 p = 0; p < 3; ++p) {
-    EXPECT_EQ(r.inputs[p].vcs.data(), r.arena.fifos.data() + p * 2);
-    EXPECT_EQ(r.inputs[p].head_busy.data(), r.arena.head_busy.data() + p * 2);
+    EXPECT_EQ(r.inputs[p].vcs.data(), r.inputs[0].vcs.data() + p * 2);
+    EXPECT_EQ(r.inputs[p].head_busy.data(),
+              r.inputs[0].head_busy.data() + p * 2);
     EXPECT_EQ(r.inputs[p].vcs.size(), 2u);
   }
-  // Writes through the views land in the arena (and vice versa).
+  // Writes through one port's view are visible through the flat layout.
   r.inputs[1].head_busy[1] = 1;
-  EXPECT_EQ(r.arena.head_busy[3], 1u);
-  // Every FIFO's ring slice lives inside the arena's slot block.
-  const VcFifo::Entry* lo = r.arena.fifo_slots.data();
-  const VcFifo::Entry* hi = lo + r.arena.fifo_slots.size();
-  for (const VcFifo& f : r.arena.fifos) {
-    EXPECT_GE(f.slots(), lo);
-    EXPECT_LT(f.slots(), hi);
-  }
+  EXPECT_EQ(r.inputs[0].head_busy.data()[3], 1u);
+  // Every FIFO owns a distinct zeroed ring slice of the requested size.
+  for (u32 p = 0; p < 3; ++p)
+    for (u32 v = 0; v < 2; ++v) {
+      const VcFifo& f = r.inputs[p].vcs[v];
+      EXPECT_NE(f.slots(), nullptr);
+      EXPECT_TRUE(f.empty());
+      for (u32 q = 0; q < 3; ++q)
+        for (u32 w = 0; w < 2; ++w)
+          if (q != p || w != v) EXPECT_NE(f.slots(), r.inputs[q].vcs[w].slots());
+    }
 }
 
 TEST(ShardArena, CreditBindingIsContiguous) {
   TestRouter r = make_router(2, 2);
-  r.arena.reserve_credit_state(4);
   r.arena.bind_credits(r, 0, 2, 32);
   r.arena.bind_credits(r, 1, 2, 16);
   ASSERT_EQ(r.arena.credits.size(), 4u);
-  EXPECT_EQ(r.outputs[0].credits.data(), r.arena.credits.data());
-  EXPECT_EQ(r.outputs[1].credits.data(), r.arena.credits.data() + 2);
+  // Sequential binds within one chunk are adjacent.
+  EXPECT_EQ(r.outputs[1].credits.data(), r.outputs[0].credits.data() + 2);
   EXPECT_EQ(r.outputs[1].credits[0], 16u);
   EXPECT_EQ(r.outputs[1].credit_cap[1], 16u);
-  // Writes through the view land in the arena.
+  // Writes through the view land in the shared backing store.
   r.outputs[0].credits[1] = 7;
-  EXPECT_EQ(r.arena.credits[1], 7u);
+  EXPECT_EQ(r.outputs[0].credits.data()[1], 7u);
 }
 
 TEST(VcFifo, CloneShapeIsEmptyWithSameCapacity) {

@@ -233,7 +233,7 @@ TEST(Spec, PointKeyIsStableAcrossCalls) {
   EXPECT_EQ(k, point_key(p));
   // The canonical text is human-readable and carries the schema version.
   const std::string text = canonical_point(p);
-  EXPECT_NE(text.find("v2;kind=steady;seed=3;"), std::string::npos) << text;
+  EXPECT_NE(text.find("v3;kind=steady;seed=3;"), std::string::npos) << text;
   EXPECT_NE(text.find("routing=OFAR"), std::string::npos) << text;
 }
 
@@ -268,6 +268,10 @@ TEST(Spec, PointKeyChangesWithEverySemanticField) {
   q = p;
   q.cfg.sim_shards = 4;
   EXPECT_NE(point_key(q), k);
+  // shard_group_major moves routers between shard lanes — semantic too.
+  q = p;
+  q.cfg.shard_group_major = true;
+  EXPECT_NE(point_key(q), k);
 }
 
 TEST(Spec, PointKeyIgnoresInstrumentationAndLabels) {
@@ -285,6 +289,10 @@ TEST(Spec, PointKeyIgnoresInstrumentationAndLabels) {
   // sim_threads is execution policy: any thread count yields bit-identical
   // results for a given sim_shards, so it must hit the same cache entry.
   q.run.sim_threads = 4;
+  EXPECT_EQ(point_key(q), k);
+  // wiring_table is a debug/reference execution mode with bit-identical
+  // results (tested in test_scale.cpp) — it must hit the same cache entry.
+  q.cfg.wiring_table = true;
   EXPECT_EQ(point_key(q), k);
   q = p;
   q.mechanism = "renamed";

@@ -28,8 +28,8 @@ MUTATIONS = [
         "why": "parallel transfer phase calls the serial event scheduler "
                "instead of staging the credit in ShardState",
         "edits": [("src/sim/network.cpp",
-                   "++ch.phits_carried;",
-                   "++ch.phits_carried;\n      "
+                   "++channel_phits_[out.channel];",
+                   "++channel_phits_[out.channel];\n      "
                    "schedule_credit(out.channel, out.src_vc, 1);")],
         "rule": "serial-call",
         "file": "src/sim/network.cpp",
@@ -50,8 +50,8 @@ MUTATIONS = [
         "why": "parallel phase bumps the global delivered counter "
                "directly instead of ShardState::delivered",
         "edits": [("src/sim/network.cpp",
-                   "++ch.phits_carried;",
-                   "++ch.phits_carried;\n      ++delivered_total_;")],
+                   "++channel_phits_[out.channel];",
+                   "++channel_phits_[out.channel];\n      ++delivered_total_;")],
         "rule": "serial-write",
         "file": "src/sim/network.cpp",
     },
@@ -60,8 +60,8 @@ MUTATIONS = [
         "why": "parallel phase fires the trace callback directly, "
                "bypassing ShardState::traces staging",
         "edits": [("src/sim/network.cpp",
-                   "++ch.phits_carried;",
-                   "++ch.phits_carried;\n      "
+                   "++channel_phits_[out.channel];",
+                   "++channel_phits_[out.channel];\n      "
                    "if (tracer_) tracer_(TraceEvent{});")],
         "rule": "unstaged-trace",
         "file": "src/sim/network.cpp",
